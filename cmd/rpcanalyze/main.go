@@ -1,0 +1,109 @@
+// Command rpcanalyze regenerates the paper's evaluation: it builds a
+// synthetic fleet, simulates its traffic, runs every per-figure analysis,
+// and prints the complete report.
+//
+// Usage:
+//
+//	rpcanalyze [-methods N] [-volume N] [-samples N] [-trees N]
+//	           [-seed N] [-days N] [-lb] [-quick]
+//
+// -quick shrinks everything for a fast smoke run; paper-scale is
+// -methods 10000 -volume 2000000.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rpcscale/internal/core"
+	"rpcscale/internal/fleet"
+	"rpcscale/internal/monarch"
+	"rpcscale/internal/sim"
+	"rpcscale/internal/workload"
+)
+
+func main() {
+	var (
+		methods = flag.Int("methods", 2000, "catalog size (paper: 10000)")
+		volume  = flag.Int("volume", 200000, "popularity-weighted call samples")
+		samples = flag.Int("samples", 150, "stratified samples per method")
+		trees   = flag.Int("trees", 1000, "materialized call trees")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		days    = flag.Int("days", 700, "growth history days (Fig. 1)")
+		lb      = flag.Bool("lb", true, "run the Fig. 22 load-balance experiment")
+		quick   = flag.Bool("quick", false, "small fast run")
+		in      = flag.String("in", "", "analyze a span dump (fleetgen output) instead of simulating")
+	)
+	flag.Parse()
+
+	if *in != "" {
+		analyzeDump(*in)
+		return
+	}
+
+	if *quick {
+		*methods, *volume, *samples, *trees = 500, 30000, 100, 200
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building topology and %d-method catalog...\n", *methods)
+	topo := sim.NewTopology(sim.TopologyConfig{
+		Regions: 6, DatacentersPer: 2, ClustersPerDC: 3,
+		MachinesPerCluster: 16, Seed: *seed,
+	})
+	cat := fleet.New(fleet.Config{Methods: *methods, Clusters: len(topo.Clusters), Seed: *seed})
+
+	fmt.Fprintf(os.Stderr, "simulating fleet traffic (%d volume samples)...\n", *volume)
+	ds := workload.Generate(cat, topo, workload.RunConfig{
+		Seed:          *seed,
+		MethodSamples: *samples,
+		VolumeRoots:   *volume,
+		Trees:         *trees,
+	})
+
+	fmt.Fprintf(os.Stderr, "writing %d-day Monarch history...\n", *days)
+	db := monarch.New(30*time.Minute, time.Duration(*days+10)*24*time.Hour)
+	if err := workload.DeclareMetrics(db); err != nil {
+		fmt.Fprintln(os.Stderr, "monarch:", err)
+		os.Exit(1)
+	}
+	if err := workload.WriteGrowthHistory(db, workload.GrowthConfig{Days: *days, Seed: *seed}); err != nil {
+		fmt.Fprintln(os.Stderr, "growth:", err)
+		os.Exit(1)
+	}
+
+	gen := workload.NewGenerator(cat, topo, nil, *seed+7)
+	opts := core.ReportOptions{
+		DB:             db,
+		Generator:      gen,
+		DiurnalSamples: 120,
+	}
+	if *lb {
+		opts.LoadBalanceSeed = *seed + 13
+	}
+	fmt.Fprintf(os.Stderr, "running analyses...\n")
+	fmt.Print(core.FullReport(ds, opts))
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// analyzeDump runs the span-level analyses over a fleetgen dump. Figures
+// that need the simulator (17-19, 22) or Monarch history (1, 18) are
+// skipped; everything span-derived is reproduced from the file.
+func analyzeDump(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	ds, err := workload.LoadDataset(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d spans, %d methods, %d trees\n",
+		len(ds.VolumeSpans), len(ds.MethodSpans), len(ds.Trees))
+	fmt.Print(core.FullReport(ds, core.ReportOptions{}))
+}

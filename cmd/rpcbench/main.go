@@ -1,0 +1,151 @@
+// Command rpcbench measures the real RPC stack on this machine: it starts
+// a Stubby-style server on a loopback TCP socket, drives it with unary
+// calls, and prints the measured nine-component latency breakdown and
+// cycle-proxy statistics — the live-hardware counterpart of the paper's
+// Figs. 9/10 methodology.
+//
+// Usage:
+//
+//	rpcbench [-n N] [-payload BYTES] [-conc N] [-compress] [-apptime D]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"rpcscale/internal/compressor"
+	"rpcscale/internal/secure"
+	"rpcscale/internal/stats"
+	"rpcscale/internal/stubby"
+	"rpcscale/internal/trace"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 20000, "number of calls")
+		payload  = flag.Int("payload", 1530, "request payload bytes (paper median)")
+		conc     = flag.Int("conc", 8, "concurrent callers")
+		compress = flag.Bool("compress", false, "enable flate compression")
+		appTime  = flag.Duration("apptime", 0, "simulated handler time (0 = echo only)")
+	)
+	flag.Parse()
+
+	col := trace.NewCollector(1, 0)
+	cs := &compressor.Stats{}
+	es := &secure.Stats{}
+	opts := stubby.Options{
+		Collector:       col,
+		ClusterName:     "loopback",
+		CompressorStats: cs,
+		EncryptionStats: es,
+		Workers:         *conc,
+	}
+	if *compress {
+		opts.Compression = compressor.Flate
+	}
+
+	srv := stubby.NewServer(opts)
+	srv.Register("bench.Echo/Echo", func(ctx context.Context, p []byte) ([]byte, error) {
+		if *appTime > 0 {
+			time.Sleep(*appTime)
+		}
+		return p, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	ch, err := stubby.Dial(l.Addr().String(), "loopback", opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer ch.Close()
+
+	req := make([]byte, *payload)
+	for i := range req {
+		req[i] = byte(i)
+	}
+
+	// Warm up connections and pools.
+	for i := 0; i < 100; i++ {
+		if _, err := ch.Call(context.Background(), "bench.Echo/Echo", req); err != nil {
+			fmt.Fprintln(os.Stderr, "warmup:", err)
+			os.Exit(1)
+		}
+	}
+	col.Reset()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := *n / *conc
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := ch.Call(context.Background(), "bench.Echo/Echo", req); err != nil {
+					fmt.Fprintln(os.Stderr, "call:", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	spans := col.Spans()
+	fmt.Printf("rpcbench: %d calls, payload %dB, %d callers, compression=%v\n",
+		len(spans), *payload, *conc, *compress)
+	fmt.Printf("  throughput: %.0f RPC/s   wall: %v\n\n",
+		float64(len(spans))/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+
+	// Component distributions.
+	comps := make([]*stats.Sample, trace.NumComponents)
+	total := stats.NewSample(len(spans))
+	var taxSum, totalSum float64
+	for c := range comps {
+		comps[c] = stats.NewSample(len(spans))
+	}
+	for _, s := range spans {
+		for c := 0; c < trace.NumComponents; c++ {
+			comps[c].Add(float64(s.Breakdown[c]))
+		}
+		total.Add(float64(s.Breakdown.Total()))
+		taxSum += float64(s.Breakdown.Tax())
+		totalSum += float64(s.Breakdown.Total())
+	}
+	fmt.Printf("  %-30s %10s %10s %10s\n", "component", "P50", "P95", "P99")
+	order := make([]int, trace.NumComponents)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return comps[order[a]].Quantile(0.5) > comps[order[b]].Quantile(0.5)
+	})
+	for _, c := range order {
+		fmt.Printf("  %-30s %10v %10v %10v\n", trace.Component(c).Label(),
+			time.Duration(int64(comps[c].Quantile(0.5))).Round(time.Nanosecond),
+			time.Duration(int64(comps[c].Quantile(0.95))).Round(time.Nanosecond),
+			time.Duration(int64(comps[c].Quantile(0.99))).Round(time.Nanosecond))
+	}
+	fmt.Printf("  %-30s %10v %10v %10v\n", "TOTAL",
+		time.Duration(int64(total.Quantile(0.5))).Round(time.Nanosecond),
+		time.Duration(int64(total.Quantile(0.95))).Round(time.Nanosecond),
+		time.Duration(int64(total.Quantile(0.99))).Round(time.Nanosecond))
+	fmt.Printf("\n  measured RPC latency tax: %.1f%% of completion time\n", 100*taxSum/totalSum)
+	if *compress {
+		fmt.Printf("  compression: %d calls, ratio %.2f\n", cs.CompressCalls.Load(), cs.Ratio())
+	}
+	fmt.Printf("  encryption: %d seals, %d bytes\n", es.Seals.Load(), es.BytesEncrypted.Load())
+}

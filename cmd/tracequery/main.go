@@ -1,0 +1,175 @@
+// Command tracequery loads a span dump produced by cmd/fleetgen and
+// answers ad-hoc questions: per-method percentiles, tree shapes for a
+// trace ID, and top-k listings — a miniature of the Dapper query UI.
+//
+// Usage:
+//
+//	tracequery -in spans.jsonl method <name>     per-method summary
+//	tracequery -in spans.jsonl trace <trace-id>  print one call tree
+//	tracequery -in spans.jsonl top [k]           top methods by calls
+//	tracequery -in spans.jsonl errors            error mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
+)
+
+func load(path string) ([]*trace.Span, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadSpans(f)
+}
+
+func main() {
+	in := flag.String("in", "spans.jsonl", "span dump from fleetgen")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracequery -in spans.jsonl {method <name> | trace <id> | top [k] | errors}")
+		os.Exit(2)
+	}
+	spans, err := load(*in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch args[0] {
+	case "method":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "method requires a name")
+			os.Exit(2)
+		}
+		methodSummary(spans, args[1])
+	case "trace":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "trace requires an id")
+			os.Exit(2)
+		}
+		id, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad trace id:", err)
+			os.Exit(2)
+		}
+		printTree(spans, trace.TraceID(id))
+	case "top":
+		k := 20
+		if len(args) > 1 {
+			if v, err := strconv.Atoi(args[1]); err == nil {
+				k = v
+			}
+		}
+		topMethods(spans, k)
+	case "errors":
+		errorMix(spans)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
+		os.Exit(2)
+	}
+}
+
+func methodSummary(spans []*trace.Span, method string) {
+	h := stats.NewLatencyHist()
+	var calls, errs int
+	for _, s := range spans {
+		if s.Method != method {
+			continue
+		}
+		calls++
+		if s.Err.IsError() {
+			errs++
+			continue
+		}
+		h.Add(float64(s.Breakdown.Total()))
+	}
+	if calls == 0 {
+		fmt.Printf("no spans for %s\n", method)
+		return
+	}
+	sum := h.Summarize()
+	fmt.Printf("%s: %d calls, %d errors\n", method, calls, errs)
+	fmt.Printf("  P1 %v  P50 %v  P90 %v  P99 %v  max %v\n",
+		time.Duration(int64(sum.P1)).Round(time.Microsecond),
+		time.Duration(int64(sum.P50)).Round(time.Microsecond),
+		time.Duration(int64(sum.P90)).Round(time.Microsecond),
+		time.Duration(int64(sum.P99)).Round(time.Microsecond),
+		time.Duration(int64(sum.Max)).Round(time.Microsecond))
+}
+
+func printTree(spans []*trace.Span, id trace.TraceID) {
+	var subset []*trace.Span
+	for _, s := range spans {
+		if s.TraceID == id {
+			subset = append(subset, s)
+		}
+	}
+	if len(subset) == 0 {
+		fmt.Printf("no spans for trace %d\n", id)
+		return
+	}
+	for _, tree := range trace.BuildTrees(subset) {
+		var walk func(n *trace.Node, indent string)
+		walk = func(n *trace.Node, indent string) {
+			s := n.Span
+			status := ""
+			if s.Err.IsError() {
+				status = "  [" + s.Err.String() + "]"
+			}
+			fmt.Printf("%s%s  %v  (%s -> %s)%s\n", indent, s.Method,
+				s.Breakdown.Total().Round(time.Microsecond),
+				s.ClientCluster, s.ServerCluster, status)
+			for _, c := range n.Children {
+				walk(c, indent+"  ")
+			}
+		}
+		walk(tree.Root, "")
+	}
+}
+
+func topMethods(spans []*trace.Span, k int) {
+	counts := make(map[string]int)
+	for _, s := range spans {
+		counts[s.Method]++
+	}
+	type kv struct {
+		m string
+		n int
+	}
+	var sorted []kv
+	for m, n := range counts {
+		sorted = append(sorted, kv{m, n})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].n > sorted[j].n })
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	for i := 0; i < k; i++ {
+		fmt.Printf("%6.2f%%  %s\n", 100*float64(sorted[i].n)/float64(len(spans)), sorted[i].m)
+	}
+}
+
+func errorMix(spans []*trace.Span) {
+	var errs int
+	counts := make(map[trace.ErrorCode]int)
+	for _, s := range spans {
+		if s.Err.IsError() {
+			errs++
+			counts[s.Err]++
+		}
+	}
+	fmt.Printf("%d/%d spans errored (%.2f%%)\n", errs, len(spans),
+		100*float64(errs)/float64(len(spans)))
+	for code, n := range counts {
+		fmt.Printf("  %-18s %6.2f%%\n", code, 100*float64(n)/float64(errs))
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: the smallest complete use of the RPC stack — start a
+// server, register a handler, make a traced call, and print the measured
+// nine-component latency breakdown (the paper's Fig. 9 anatomy).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"rpcscale/internal/stubby"
+	"rpcscale/internal/trace"
+)
+
+func main() {
+	// A collector receives one span per completed call.
+	col := trace.NewCollector(1, 0)
+	opts := stubby.Options{Collector: col, ClusterName: "quickstart"}
+
+	// Server side: register a handler and serve on loopback.
+	srv := stubby.NewServer(opts)
+	srv.Register("greeter.Greeter/Hello", func(ctx context.Context, payload []byte) ([]byte, error) {
+		time.Sleep(2 * time.Millisecond) // pretend to work
+		return []byte("hello, " + string(payload)), nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	// Client side: dial and call.
+	ch, err := stubby.Dial(l.Addr().String(), "quickstart", opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ch.Close()
+
+	resp, err := ch.Call(context.Background(), "greeter.Greeter/Hello", []byte("world"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("response: %s\n\n", resp)
+
+	// The trace shows where the time went.
+	for _, span := range col.Spans() {
+		fmt.Printf("call %s took %v (tax %.1f%%)\n", span.Method,
+			span.Latency().Round(time.Microsecond), span.Breakdown.TaxRatio()*100)
+		for c := 0; c < trace.NumComponents; c++ {
+			fmt.Printf("  %-30s %v\n", trace.Component(c).Label(),
+				span.Breakdown[c].Round(time.Nanosecond))
+		}
+	}
+}

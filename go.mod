@@ -1,0 +1,3 @@
+module rpcscale
+
+go 1.24

@@ -1,0 +1,152 @@
+package compressor
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoneIsPassThrough(t *testing.T) {
+	c := New(None, nil)
+	in := []byte("payload")
+	out, err := c.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &in[0] {
+		t.Error("None should not copy")
+	}
+	back, err := c.Decompress(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, in) {
+		t.Error("round trip mismatch")
+	}
+	if c.Stats().Ratio() != 1 {
+		t.Errorf("ratio = %v", c.Stats().Ratio())
+	}
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	c := New(Flate, nil)
+	in := bytes.Repeat([]byte("compressible data "), 200)
+	out, err := c.Compress(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) >= len(in) {
+		t.Errorf("repetitive input did not shrink: %d -> %d", len(in), len(out))
+	}
+	back, err := c.Decompress(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, in) {
+		t.Error("round trip mismatch")
+	}
+	if r := c.Stats().Ratio(); r >= 1 {
+		t.Errorf("ratio = %v, want < 1", r)
+	}
+}
+
+func TestFlateRoundTripProperty(t *testing.T) {
+	c := New(Flate, nil)
+	f := func(payload []byte) bool {
+		out, err := c.Compress(payload)
+		if err != nil {
+			return false
+		}
+		back, err := c.Decompress(out)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	c := New(Flate, nil)
+	out, err := c.Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Decompress(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty round trip gave %d bytes", len(back))
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	c := New(Flate, nil)
+	if _, err := c.Decompress([]byte{0xDE, 0xAD, 0xBE, 0xEF}); err == nil {
+		t.Error("garbage should not decompress")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	stats := &Stats{}
+	c := New(Flate, stats)
+	in := bytes.Repeat([]byte("x"), 1000)
+	out, _ := c.Compress(in)
+	_, _ = c.Decompress(out)
+	if got := stats.CompressCalls.Load(); got != 1 {
+		t.Errorf("compress calls = %d", got)
+	}
+	if got := stats.DecompressCalls.Load(); got != 1 {
+		t.Errorf("decompress calls = %d", got)
+	}
+	if got := stats.BytesIn.Load(); got != 1000 {
+		t.Errorf("bytes in = %d", got)
+	}
+	if got := stats.BytesOut.Load(); got != uint64(len(out)) {
+		t.Errorf("bytes out = %d, want %d", got, len(out))
+	}
+}
+
+func TestConcurrentCompress(t *testing.T) {
+	c := New(Flate, nil)
+	in := bytes.Repeat([]byte("concurrent payload "), 100)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, err := c.Compress(in)
+			if err != nil {
+				errs <- err
+				return
+			}
+			back, err := c.Decompress(out)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(back, in) {
+				errs <- bytes.ErrTooLarge // any sentinel
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if None.String() != "none" || Flate.String() != "flate" {
+		t.Error("algorithm names wrong")
+	}
+	if Algorithm(99).String() == "" {
+		t.Error("unknown algorithm should still format")
+	}
+}

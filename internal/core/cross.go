@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rpcscale/internal/sim"
+	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
+	"rpcscale/internal/workload"
+)
+
+// CrossClusterRow is one client cluster's view of a fixed server (one bar
+// of Fig. 19).
+type CrossClusterRow struct {
+	ClientCluster string
+	Proximity     sim.Proximity
+	DistanceKm    float64
+	Median        time.Duration
+	Components    trace.Breakdown // medians per component
+	MinWireRTT    time.Duration   // speed-of-light bound for this pair
+}
+
+// CrossClusterResult is Fig. 19: median latency breakdown of calls to one
+// serving cluster from clients at increasing distance.
+type CrossClusterResult struct {
+	Method        string
+	ServerCluster string
+	Rows          []CrossClusterRow // sorted by distance
+
+	// WireDominatedBeyondRegion reports the §3.3.5 conclusion: for
+	// cross-region calls the wire component is the majority of total
+	// median latency and closely tracks the propagation bound.
+	WireDominatedBeyondRegion bool
+}
+
+// CrossClusterAnalysis generates Fig. 19 with the generator directly:
+// n calls from every cluster to a pinned server cluster.
+func CrossClusterAnalysis(gen *workload.Generator, method string, server *sim.Cluster, perCluster int) (*CrossClusterResult, error) {
+	m := gen.Cat.MethodByName(method)
+	if m == nil {
+		return nil, fmt.Errorf("core: unknown method %q", method)
+	}
+	if perCluster <= 0 {
+		perCluster = 120
+	}
+	res := &CrossClusterResult{Method: method, ServerCluster: server.Name}
+	for _, client := range gen.Topo.Clusters {
+		totals := stats.NewSample(perCluster)
+		comps := make([]*stats.Sample, trace.NumComponents)
+		for c := range comps {
+			comps[c] = stats.NewSample(perCluster)
+		}
+		for i := 0; i < perCluster; i++ {
+			obs := gen.Call(m, workload.CallOptions{
+				Client: client, Server: server,
+				At: time.Duration(i) * time.Minute, MaxDepth: 2, Budget: 32,
+			})
+			totals.Add(float64(obs.Span.Breakdown.Total()))
+			for c := 0; c < trace.NumComponents; c++ {
+				comps[c].Add(float64(obs.Span.Breakdown[c]))
+			}
+		}
+		row := CrossClusterRow{
+			ClientCluster: client.Name,
+			Proximity:     gen.Topo.ProximityOf(client, server),
+			DistanceKm:    gen.Topo.DistanceKm(client, server),
+			Median:        time.Duration(int64(totals.Quantile(0.5))),
+			MinWireRTT:    gen.Topo.MinRTT(client, server),
+		}
+		for c := 0; c < trace.NumComponents; c++ {
+			row.Components[c] = time.Duration(int64(comps[c].Quantile(0.5)))
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].DistanceKm < res.Rows[j].DistanceKm })
+
+	// Verify the wire-dominance conclusion on cross-region rows.
+	crossRegion, wireDominated := 0, 0
+	for _, row := range res.Rows {
+		if row.Proximity != sim.DifferentRegion {
+			continue
+		}
+		crossRegion++
+		wire := row.Components[trace.ReqNetworkWire] + row.Components[trace.RespNetworkWire]
+		if wire*2 > row.Median {
+			wireDominated++
+		}
+	}
+	res.WireDominatedBeyondRegion = crossRegion > 0 && wireDominated*3 >= crossRegion*2
+	return res, nil
+}
+
+// Render formats Fig. 19.
+func (r *CrossClusterResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.19  %s -> server %s: median latency by client distance\n", r.Method, r.ServerCluster)
+	fmt.Fprintf(&b, "  wire-dominated beyond region: %v\n", r.WireDominatedBeyondRegion)
+	fmt.Fprintf(&b, "  %-22s %-18s %9s %12s %12s %12s\n",
+		"client", "proximity", "km", "median", "wire(med)", "min RTT")
+	for i, row := range r.Rows {
+		if i%3 != 0 && i != len(r.Rows)-1 {
+			continue
+		}
+		wire := row.Components[trace.ReqNetworkWire] + row.Components[trace.RespNetworkWire]
+		fmt.Fprintf(&b, "  %-22s %-18s %9.0f %12v %12v %12v\n",
+			row.ClientCluster, row.Proximity, row.DistanceKm,
+			row.Median.Round(time.Microsecond), wire.Round(time.Microsecond),
+			row.MinWireRTT.Round(time.Microsecond))
+	}
+	return b.String()
+}

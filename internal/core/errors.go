@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rpcscale/internal/trace"
+	"rpcscale/internal/workload"
+)
+
+// ErrorRow is one error type's slice of Fig. 23.
+type ErrorRow struct {
+	Code       trace.ErrorCode
+	CountShare float64 // share of all errors
+	CycleShare float64 // share of wasted cycles
+}
+
+// ErrorResult is Fig. 23 plus §4.4's headline rate.
+type ErrorResult struct {
+	ErrorRate float64 // errors / all calls (paper: 0.019)
+	Rows      []ErrorRow
+	// HedgeCancelShare is the fraction of cancellations carrying the
+	// hedged flag, supporting the paper's hedging hypothesis.
+	HedgeCancelShare float64
+}
+
+// ErrorAnalysis computes Fig. 23 over the volume mix.
+func ErrorAnalysis(ds *workload.Dataset) *ErrorResult {
+	var calls, errs float64
+	counts := make(map[trace.ErrorCode]float64)
+	cycles := make(map[trace.ErrorCode]float64)
+	var wastedTotal float64
+	var cancels, hedgedCancels float64
+	for _, s := range ds.VolumeSpans {
+		calls++
+		if !s.Err.IsError() {
+			continue
+		}
+		errs++
+		counts[s.Err]++
+		cycles[s.Err] += s.CPUCycles
+		wastedTotal += s.CPUCycles
+		if s.Err == trace.Cancelled {
+			cancels++
+			if s.Hedged {
+				hedgedCancels++
+			}
+		}
+	}
+	res := &ErrorResult{}
+	if calls > 0 {
+		res.ErrorRate = errs / calls
+	}
+	for code, n := range counts {
+		row := ErrorRow{Code: code, CountShare: n / errs}
+		if wastedTotal > 0 {
+			row.CycleShare = cycles[code] / wastedTotal
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].CountShare > res.Rows[j].CountShare })
+	if cancels > 0 {
+		res.HedgeCancelShare = hedgedCancels / cancels
+	}
+	return res
+}
+
+// Row returns the entry for one code (zero row if absent).
+func (r *ErrorResult) Row(code trace.ErrorCode) ErrorRow {
+	for _, row := range r.Rows {
+		if row.Code == code {
+			return row
+		}
+	}
+	return ErrorRow{Code: code}
+}
+
+// Render formats Fig. 23.
+func (r *ErrorResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.23  RPC errors: %.2f%% of all calls fail; hedged share of cancellations %.0f%%\n",
+		r.ErrorRate*100, r.HedgeCancelShare*100)
+	fmt.Fprintf(&b, "  %-18s %10s %10s\n", "type", "count", "cycles")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-18s %9.1f%% %9.1f%%\n", row.Code, row.CountShare*100, row.CycleShare*100)
+	}
+	return b.String()
+}

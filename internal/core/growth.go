@@ -1,0 +1,118 @@
+// Package core is the characterization library: one analysis per figure
+// or table of the paper, each consuming the datasets produced by
+// internal/workload (trace spans, Monarch series, GWP profiles) and
+// returning a structured result plus a text rendering.
+//
+// DESIGN.md §3 maps every paper figure to its analysis here; EXPERIMENTS.md
+// records paper-reported vs. measured values.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"rpcscale/internal/monarch"
+	"rpcscale/internal/workload"
+)
+
+// GrowthResult is Fig. 1: normalized RPS-per-CPU-cycle over the
+// observation period.
+type GrowthResult struct {
+	Days       []time.Time
+	Normalized []float64 // daily RPS/CPU divided by day-0 value
+
+	// AnnualGrowth is the fitted exponential growth rate per year.
+	AnnualGrowth float64
+	// TotalGrowth is last/first - 1 over the whole period (the paper
+	// reports +64% over 700 days).
+	TotalGrowth float64
+}
+
+// GrowthAnalysis computes Fig. 1 from the fleet counters in db.
+func GrowthAnalysis(db *monarch.DB) (*GrowthResult, error) {
+	rps := db.Query(workload.MetricRPS, nil, time.Time{}, time.Time{})
+	cpu := db.Query(workload.MetricCPU, nil, time.Time{}, time.Time{})
+	if len(rps) == 0 || len(cpu) == 0 {
+		return nil, fmt.Errorf("core: growth counters missing")
+	}
+	rpsAll := monarch.SumAcross(rps)
+	cpuAll := monarch.SumAcross(cpu)
+	cpuAt := make(map[time.Time]float64, len(cpuAll.Points))
+	for _, p := range cpuAll.Points {
+		cpuAt[p.At] = p.Value
+	}
+	res := &GrowthResult{}
+	for _, p := range rpsAll.Points {
+		c, ok := cpuAt[p.At]
+		if !ok || c == 0 {
+			continue
+		}
+		res.Days = append(res.Days, p.At)
+		res.Normalized = append(res.Normalized, p.Value/c)
+	}
+	if len(res.Normalized) < 2 {
+		return nil, fmt.Errorf("core: not enough growth samples")
+	}
+	base := res.Normalized[0]
+	for i := range res.Normalized {
+		res.Normalized[i] /= base
+	}
+	// Least-squares fit of log(ratio) over years.
+	var xs, ys []float64
+	for i, d := range res.Days {
+		xs = append(xs, d.Sub(res.Days[0]).Hours()/24/365)
+		ys = append(ys, math.Log(res.Normalized[i]))
+	}
+	slope := fitSlope(xs, ys)
+	res.AnnualGrowth = math.Exp(slope) - 1
+	res.TotalGrowth = res.Normalized[len(res.Normalized)-1]/res.Normalized[0] - 1
+	return res, nil
+}
+
+func fitSlope(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Render formats the result as the Fig. 1 text report.
+func (r *GrowthResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.1  Normalized RPS per CPU cycle over %d days\n", len(r.Days))
+	fmt.Fprintf(&b, "  annual growth: %+.1f%%   total over period: %+.1f%%\n",
+		r.AnnualGrowth*100, r.TotalGrowth*100)
+	// Sparkline-style decimation: 10 evenly spaced samples.
+	step := len(r.Normalized) / 10
+	if step == 0 {
+		step = 1
+	}
+	b.WriteString("  day    ratio\n")
+	for i := 0; i < len(r.Normalized); i += step {
+		fmt.Fprintf(&b, "  %4d   %.3f\n", i, r.Normalized[i])
+	}
+	return b.String()
+}
+
+// sortedByMedian is a shared helper: sorts per-method summaries by median
+// ascending (the x-axis of every per-method figure).
+func sortedKeys[T any](m map[string]T) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// RenderHeatmap draws the Fig. 2a-style per-method latency heatmap as
+// ASCII art: the x-axis is the latency-sorted method rank (downsampled to
+// the given width), the y-axis is a log-scaled latency grid, and each
+// cell's shade is the fraction of the column method's calls landing in
+// that latency band — the textual twin of the paper's color map.
+func (r *PerMethodResult) RenderHeatmap(width int) string {
+	if len(r.Rows) == 0 {
+		return "(no methods)\n"
+	}
+	if width <= 0 {
+		width = 60
+	}
+	if width > len(r.Rows) {
+		width = len(r.Rows)
+	}
+
+	// Latency grid: log-spaced between the fleet's P1 floor and P999
+	// ceiling.
+	lo, hi := math.Inf(1), 0.0
+	for _, row := range r.Rows {
+		if row.Summary.P1 > 0 && row.Summary.P1 < lo {
+			lo = row.Summary.P1
+		}
+		if row.Summary.P999 > hi {
+			hi = row.Summary.P999
+		}
+	}
+	if !(lo > 0) || hi <= lo {
+		return "(degenerate distribution)\n"
+	}
+	const bands = 16
+	logLo, logHi := math.Log(lo), math.Log(hi)
+
+	bandOf := func(v float64) int {
+		if v <= lo {
+			return 0
+		}
+		if v >= hi {
+			return bands - 1
+		}
+		return int((math.Log(v) - logLo) / (logHi - logLo) * (bands - 1))
+	}
+
+	// For each downsampled column, mark the percentile curve positions.
+	type column struct {
+		cells [bands]byte
+	}
+	shades := []byte{' ', '.', ':', '*', '#', '@'}
+	cols := make([]column, width)
+	for x := 0; x < width; x++ {
+		row := r.Rows[x*len(r.Rows)/width]
+		s := row.Summary
+		// Approximate the method's latency density by the mass between
+		// adjacent summary percentiles.
+		marks := []struct {
+			v    float64
+			mass float64
+		}{
+			{s.P1, 0.01}, {s.P10, 0.09}, {s.P25, 0.15}, {s.P50, 0.25},
+			{s.P75, 0.25}, {s.P90, 0.15}, {s.P95, 0.05}, {s.P99, 0.04}, {s.P999, 0.01},
+		}
+		var density [bands]float64
+		prev := s.P1
+		for _, m := range marks {
+			loB, hiB := bandOf(prev), bandOf(m.v)
+			if hiB < loB {
+				loB, hiB = hiB, loB
+			}
+			span := float64(hiB - loB + 1)
+			for b := loB; b <= hiB; b++ {
+				density[b] += m.mass / span
+			}
+			prev = m.v
+		}
+		for b := 0; b < bands; b++ {
+			shade := int(density[b] * float64(len(shades)) * 3)
+			if shade >= len(shades) {
+				shade = len(shades) - 1
+			}
+			cols[x].cells[b] = shades[shade]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Heatmap: per-method %s (x: %d methods by median; y: log latency)\n",
+		r.What, len(r.Rows))
+	for band := bands - 1; band >= 0; band-- {
+		label := ""
+		if band%4 == 0 || band == bands-1 {
+			v := math.Exp(logLo + float64(band)/(bands-1)*(logHi-logLo))
+			label = r.heatLabel(v)
+		}
+		fmt.Fprintf(&b, "  %10s |", label)
+		for x := 0; x < width; x++ {
+			b.WriteByte(cols[x].cells[band])
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "  %10s +%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "  %10s  fast methods %s slow methods\n", "", strings.Repeat(" ", width-26))
+	return b.String()
+}
+
+func (r *PerMethodResult) heatLabel(v float64) string {
+	if r.Unit == "ns" {
+		return time.Duration(int64(v)).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%.3g%s", v, r.Unit)
+}

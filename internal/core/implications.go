@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rpcscale/internal/fleet"
+	"rpcscale/internal/stats"
+	"rpcscale/internal/workload"
+)
+
+// OffloadCoverageResult quantifies the §2.5 implication: an on-NIC
+// (de)serialization offload like Zerializer that only handles messages
+// within a single MTU "would be able to accelerate the majority of RPCs
+// but would miss the tail".
+type OffloadCoverageResult struct {
+	MTU int64
+
+	// MessageCoverage is the fraction of messages (requests and
+	// responses counted separately — the unit a deserialization offload
+	// processes) that fit in one MTU.
+	MessageCoverage float64
+	// CallCoverage is the fraction of RPCs whose request AND response
+	// both fit.
+	CallCoverage float64
+	// ByteCoverage is the fraction of transferred bytes in covered
+	// messages — the part the accelerator actually offloads.
+	ByteCoverage float64
+}
+
+// OffloadCoverage computes accelerator coverage over the volume mix.
+func OffloadCoverage(ds *workload.Dataset, mtu int64) *OffloadCoverageResult {
+	if mtu <= 0 {
+		mtu = 1500
+	}
+	res := &OffloadCoverageResult{MTU: mtu}
+	var calls, callsCovered float64
+	var msgs, msgsCovered float64
+	var bytes, coveredBytes float64
+	for _, s := range ds.VolumeSpans {
+		calls++
+		msgs += 2
+		for _, sz := range [2]int64{s.RequestBytes, s.ResponseBytes} {
+			bytes += float64(sz)
+			if sz <= mtu {
+				msgsCovered++
+				coveredBytes += float64(sz)
+			}
+		}
+		if s.RequestBytes <= mtu && s.ResponseBytes <= mtu {
+			callsCovered++
+		}
+	}
+	if calls > 0 {
+		res.CallCoverage = callsCovered / calls
+		res.MessageCoverage = msgsCovered / msgs
+	}
+	if bytes > 0 {
+		res.ByteCoverage = coveredBytes / bytes
+	}
+	return res
+}
+
+// Render formats the offload coverage finding.
+func (r *OffloadCoverageResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Offload coverage (single-MTU accelerator, MTU=%dB; §2.5)\n", r.MTU)
+	fmt.Fprintf(&b, "  messages covered:       %.1f%%\n", r.MessageCoverage*100)
+	fmt.Fprintf(&b, "  RPCs fully covered:     %.1f%% of calls\n", r.CallCoverage*100)
+	fmt.Fprintf(&b, "  bytes covered:          %.1f%% (the tail escapes)\n", r.ByteCoverage*100)
+	return b.String()
+}
+
+// OptimizationCoverageResult quantifies §5.2's method-specific
+// optimization argument: how much of fleet volume and time a top-K
+// optimization program reaches.
+type OptimizationCoverageResult struct {
+	// Ks are the program sizes evaluated.
+	Ks []int
+	// CallCoverage[i] is the call share of the Ks[i] most popular
+	// methods; TimeCoverage[i] the share of total RPC time.
+	CallCoverage []float64
+	TimeCoverage []float64
+}
+
+// OptimizationCoverage computes coverage for standard program sizes.
+func OptimizationCoverage(ds *workload.Dataset) *OptimizationCoverageResult {
+	calls := make(map[string]float64)
+	times := make(map[string]float64)
+	var totalCalls, totalTime float64
+	for _, s := range ds.VolumeSpans {
+		if s.Hedged {
+			continue
+		}
+		calls[s.Method]++
+		totalCalls++
+		t := float64(s.Breakdown.Total())
+		times[s.Method] += t
+		totalTime += t
+	}
+	type kv struct {
+		m string
+		v float64
+	}
+	sorted := make([]kv, 0, len(calls))
+	for m, c := range calls {
+		sorted = append(sorted, kv{m, c})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].v > sorted[j].v })
+
+	res := &OptimizationCoverageResult{Ks: []int{1, 10, 100, 1000}}
+	for _, k := range res.Ks {
+		var c, t float64
+		for i := 0; i < k && i < len(sorted); i++ {
+			c += sorted[i].v
+			t += times[sorted[i].m]
+		}
+		res.CallCoverage = append(res.CallCoverage, c/totalCalls)
+		res.TimeCoverage = append(res.TimeCoverage, t/totalTime)
+	}
+	return res
+}
+
+// Render formats the optimization-coverage table.
+func (r *OptimizationCoverageResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Method-specific optimization coverage (§5.2)\n")
+	fmt.Fprintf(&b, "  %-10s %10s %10s\n", "top-K", "calls", "RPC time")
+	for i, k := range r.Ks {
+		fmt.Fprintf(&b, "  %-10d %9.1f%% %9.1f%%\n", k, r.CallCoverage[i]*100, r.TimeCoverage[i]*100)
+	}
+	return b.String()
+}
+
+// ColocationResult is the §5.2 co-location what-if: "adding support to a
+// cluster manager for co-locating RPCs from the same RPC tree could
+// significantly reduce latency."
+type ColocationResult struct {
+	Trees int
+
+	// With/Without are root completion-time summaries with production
+	// co-location (boost 0.75) vs none (nested calls placed by raw
+	// locality only).
+	WithP50, WithP99       time.Duration
+	WithoutP50, WithoutP99 time.Duration
+	// CrossRateWith/Without are the fractions of nested calls leaving
+	// their parent's cluster.
+	CrossRateWith    float64
+	CrossRateWithout float64
+}
+
+// ColocationStudy runs the co-location experiment: the same tree
+// workload under two placement regimes, built from the given generator
+// factory (seeded identically so the workloads match).
+func ColocationStudy(mk func() *workload.Generator, trees int) *ColocationResult {
+	if trees <= 0 {
+		trees = 300
+	}
+	run := func(boost float64) (*stats.Sample, float64) {
+		gen := mk()
+		gen.ColocateBoost = boost
+		roots := stats.NewSample(trees)
+		var nested, cross float64
+		for i := 0; i < trees; i++ {
+			m := pickEntry(gen.Cat, i)
+			at := time.Duration(i) * 173 * time.Millisecond
+			gen.Call(m, workload.CallOptions{
+				At: at, MaxDepth: 6, Budget: 600, Materialize: true,
+				Observe: func(o workload.CallObservation) {
+					if o.Span.ParentID == 0 {
+						roots.Add(float64(o.Span.Breakdown.Total()))
+						return
+					}
+					nested++
+					if !o.Span.SameCluster() {
+						cross++
+					}
+				},
+			})
+		}
+		rate := 0.0
+		if nested > 0 {
+			rate = cross / nested
+		}
+		return roots, rate
+	}
+	with, rateWith := run(0.75)
+	without, rateWithout := run(0)
+	return &ColocationResult{
+		Trees:            trees,
+		WithP50:          time.Duration(int64(with.Quantile(0.5))),
+		WithP99:          time.Duration(int64(with.Quantile(0.99))),
+		WithoutP50:       time.Duration(int64(without.Quantile(0.5))),
+		WithoutP99:       time.Duration(int64(without.Quantile(0.99))),
+		CrossRateWith:    rateWith,
+		CrossRateWithout: rateWithout,
+	}
+}
+
+// pickEntry deterministically selects high-layer entry methods.
+func pickEntry(cat *fleet.Catalog, i int) *fleet.Method {
+	var entries []*fleet.Method
+	for _, m := range cat.Methods {
+		if m.Layer >= 2 && len(m.Callees) > 0 {
+			entries = append(entries, m)
+		}
+	}
+	if len(entries) == 0 {
+		entries = cat.Methods
+	}
+	return entries[i%len(entries)]
+}
+
+// Render formats the co-location what-if.
+func (r *ColocationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Co-location what-if (%d trees; §5.2)\n", r.Trees)
+	fmt.Fprintf(&b, "  %-24s %12s %12s %16s\n", "placement", "root P50", "root P99", "nested cross-rate")
+	fmt.Fprintf(&b, "  %-24s %12v %12v %15.1f%%\n", "tree co-location",
+		r.WithP50.Round(time.Microsecond), r.WithP99.Round(time.Microsecond), r.CrossRateWith*100)
+	fmt.Fprintf(&b, "  %-24s %12v %12v %15.1f%%\n", "locality only",
+		r.WithoutP50.Round(time.Microsecond), r.WithoutP99.Round(time.Microsecond), r.CrossRateWithout*100)
+	return b.String()
+}

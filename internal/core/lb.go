@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rpcscale/internal/fleet"
+	"rpcscale/internal/loadbalance"
+	"rpcscale/internal/stats"
+)
+
+// LoadBalanceRow is one service's Fig. 22 panel: CPU usage/limit CDFs
+// across clusters and across machines within clusters.
+type LoadBalanceRow struct {
+	Service string
+	// ClusterUsage and MachineUsage are sorted ascending (CDF order).
+	ClusterUsage []float64
+	MachineUsage []float64
+	// Spreads: P90-P10 gap, a compact imbalance measure.
+	ClusterSpread float64
+	MachineSpread float64
+}
+
+// LoadBalanceResult is Fig. 22 over the studied services.
+type LoadBalanceResult struct {
+	Rows []LoadBalanceRow
+}
+
+// lbParams derives per-service experiment parameters from the studied
+// service's class: data-dependent services (Spanner, F1, ML Inference,
+// §4.3) get shard affinity, which unbalances machines.
+func lbParams(s fleet.StudiedService, seed uint64) loadbalance.Config {
+	cfg := loadbalance.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Policy = loadbalance.PowerOfTwo{}
+	cfg.Duration = 2 * time.Second
+	switch s.Service {
+	case "spanner", "f1", "mlinference":
+		cfg.KeySkew = 0.6 // data-dependent routing
+	}
+	if s.Class == fleet.Compute {
+		cfg.MeanService = 8 * time.Millisecond
+		cfg.ServiceSigma = 1.2
+	}
+	if s.Class == fleet.LatencySensitive {
+		cfg.MeanService = 300 * time.Microsecond
+		cfg.ServiceSigma = 0.4
+	}
+	return cfg
+}
+
+// LoadBalanceAnalysis runs the Fig. 22 experiment for each studied
+// service.
+func LoadBalanceAnalysis(seed uint64) *LoadBalanceResult {
+	res := &LoadBalanceResult{}
+	for i, s := range fleet.EightServices() {
+		cfg := lbParams(s, seed+uint64(i))
+		r := loadbalance.Run(cfg)
+		row := LoadBalanceRow{Service: s.Service}
+		row.ClusterUsage = append(row.ClusterUsage, r.ClusterUsage...)
+		sort.Float64s(row.ClusterUsage)
+		// Machine usage is normalized by its cluster's mean: the paper's
+		// dashed lines compare machines within a cluster, so the
+		// inter-cluster imbalance must not leak in.
+		for c, machines := range r.MachineUsage {
+			mean := r.ClusterUsage[c]
+			if mean <= 0 {
+				continue
+			}
+			for _, u := range machines {
+				row.MachineUsage = append(row.MachineUsage, u/mean)
+			}
+		}
+		sort.Float64s(row.MachineUsage)
+		row.ClusterSpread = spreadP90P10(row.ClusterUsage)
+		row.MachineSpread = spreadP90P10(row.MachineUsage)
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+func spreadP90P10(sorted []float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	s := stats.NewSample(len(sorted))
+	for _, v := range sorted {
+		s.Add(v)
+	}
+	return s.Quantile(0.9) - s.Quantile(0.1)
+}
+
+// Render formats Fig. 22.
+func (r *LoadBalanceResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig.22  CPU usage/limit: clusters vs machines (P90-P10 spread)\n")
+	fmt.Fprintf(&b, "  %-16s %14s %14s\n", "service", "cluster spread", "machine spread")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %13.2f%% %13.2f%%\n",
+			row.Service, row.ClusterSpread*100, row.MachineSpread*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rpcscale/internal/workload"
+)
+
+// PopularityResult is Fig. 3: method popularity against the
+// median-latency ordering, with the §2.3 skew anchors.
+type PopularityResult struct {
+	// ShareByLatencyRank follows the catalog's latency ordering.
+	ShareByLatencyRank []MethodShare
+
+	Top10Share      float64 // paper: 0.58
+	Top100Share     float64 // paper: 0.91
+	TopMethod       string  // paper: networkdisk Write
+	TopMethodShare  float64 // paper: 0.28
+	Lowest100Share  float64 // paper: 0.40
+	SlowDecileCalls float64 // paper: 0.011
+	SlowDecileTime  float64 // paper: 0.89 of total RPC time
+}
+
+// MethodShare is one method's observed share of calls.
+type MethodShare struct {
+	Method string
+	Share  float64
+}
+
+// PopularityAnalysis computes Fig. 3 from the volume mix. Latency
+// ordering comes from the stratified per-method medians so the result is
+// purely observational (catalog internals are not consulted).
+func PopularityAnalysis(ds *workload.Dataset, latencyOrder *PerMethodResult) *PopularityResult {
+	counts := make(map[string]float64)
+	timeTotal := make(map[string]float64)
+	var total float64
+	for _, s := range ds.VolumeSpans {
+		if s.Hedged {
+			continue // hedge duplicates are not independent calls
+		}
+		counts[s.Method]++
+		total++
+		timeTotal[s.Method] += float64(s.Breakdown.Total())
+	}
+	res := &PopularityResult{}
+	// Order by the latency ranking (methods without volume samples get
+	// zero share rows so the x-axis matches Fig. 2's).
+	for _, row := range latencyOrder.Rows {
+		res.ShareByLatencyRank = append(res.ShareByLatencyRank, MethodShare{
+			Method: row.Method,
+			Share:  counts[row.Method] / total,
+		})
+	}
+	// Popularity-sorted anchors.
+	type kv struct {
+		m string
+		v float64
+	}
+	var sorted []kv
+	for m, c := range counts {
+		sorted = append(sorted, kv{m, c / total})
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].v > sorted[j].v })
+	for i, e := range sorted {
+		if i < 10 {
+			res.Top10Share += e.v
+		}
+		if i < 100 {
+			res.Top100Share += e.v
+		}
+	}
+	if len(sorted) > 0 {
+		res.TopMethod, res.TopMethodShare = sorted[0].m, sorted[0].v
+	}
+	// Lowest-latency "100 methods": the paper's 100-of-10,000 is the
+	// fastest 1% of the catalog, so at smaller scales the equivalent
+	// set is N/100 methods (floor 5).
+	n := len(res.ShareByLatencyRank)
+	low := n / 100
+	if low < 5 {
+		low = 5
+	}
+	if low > 100 {
+		low = 100
+	}
+	if low > n {
+		low = n
+	}
+	for _, e := range res.ShareByLatencyRank[:low] {
+		res.Lowest100Share += e.Share
+	}
+	// Slowest decile: call share and time share.
+	cut := n - n/10
+	var slowTime, allTime float64
+	for m, t := range timeTotal {
+		allTime += t
+		_ = m
+	}
+	for _, e := range res.ShareByLatencyRank[cut:] {
+		res.SlowDecileCalls += e.Share
+		slowTime += timeTotal[e.Method]
+	}
+	if allTime > 0 {
+		res.SlowDecileTime = slowTime / allTime
+	}
+	return res
+}
+
+// Render formats Fig. 3.
+func (r *PopularityResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.3  Method popularity (latency-rank order, %d methods)\n", len(r.ShareByLatencyRank))
+	fmt.Fprintf(&b, "  top method:          %-24s %.1f%% of calls\n", r.TopMethod, r.TopMethodShare*100)
+	fmt.Fprintf(&b, "  top-10 methods:      %.1f%% of calls\n", r.Top10Share*100)
+	fmt.Fprintf(&b, "  top-100 methods:     %.1f%% of calls\n", r.Top100Share*100)
+	fmt.Fprintf(&b, "  lowest-latency 100:  %.1f%% of calls\n", r.Lowest100Share*100)
+	fmt.Fprintf(&b, "  slowest decile:      %.2f%% of calls, %.1f%% of total RPC time\n",
+		r.SlowDecileCalls*100, r.SlowDecileTime*100)
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rpcscale/internal/fleet"
+	"rpcscale/internal/monarch"
+	"rpcscale/internal/sim"
+	"rpcscale/internal/workload"
+)
+
+// ReportOptions selects what the full report includes.
+type ReportOptions struct {
+	// Growth includes the 700-day Fig. 1 analysis (requires a Monarch DB
+	// populated with growth history).
+	DB *monarch.DB
+	// Generator enables analyses that generate on demand (Figs. 18, 19).
+	Generator *workload.Generator
+	// LoadBalanceSeed enables Fig. 22 (0 disables, it is the slowest).
+	LoadBalanceSeed uint64
+	// DiurnalSamples sizes Fig. 18 windows (0 disables).
+	DiurnalSamples int
+}
+
+// FullReport runs every analysis of the study over a dataset and renders
+// the complete figure-by-figure report. It is what cmd/rpcanalyze and the
+// fleetstudy example print.
+func FullReport(ds *workload.Dataset, opts ReportOptions) string {
+	var b strings.Builder
+	line := func(s string) {
+		b.WriteString(s)
+		if !strings.HasSuffix(s, "\n") {
+			b.WriteByte('\n')
+		}
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("=== A Cloud-Scale Characterization of RPCs: reproduction report ===\n\n")
+
+	// Fig. 1
+	if opts.DB != nil {
+		if growth, err := GrowthAnalysis(opts.DB); err == nil {
+			line(growth.Render())
+		} else {
+			line(fmt.Sprintf("Fig.1  (skipped: %v)", err))
+		}
+	}
+
+	// Figs. 2-3
+	lat := LatencyByMethod(ds)
+	line(lat.Render())
+	line(lat.RenderHeatmap(64))
+	a := lat.Anchors()
+	line(fmt.Sprintf("Fig.2 anchors: P1<=657us %.0f%% | median>=10.7ms %.0f%% | P99>=1ms %.1f%% | P99>=225ms %.0f%% | slow-5%% P99 %v",
+		a.FracP1Under657us*100, a.FracMedianOver10ms*100, a.FracP99Over1ms*100,
+		a.FracP99Over225ms*100, a.Slow5pP99.Round(time.Millisecond)))
+	line(PopularityAnalysis(ds, lat).Render())
+
+	// Figs. 4-5
+	line(TreeShapeAnalysis(ds).Render())
+
+	// Figs. 6-7
+	line(RequestSizeByMethod(ds).Render())
+	line(ResponseSizeByMethod(ds).Render())
+	line(SizeRatioByMethod(ds).Render())
+
+	// Fig. 8 + Table 1
+	line(ServiceShareAnalysis(ds).Render())
+	line(RenderEightServices())
+
+	// Figs. 10-13
+	line(TaxAnalysis(ds).Render())
+	line(TaxRatioByMethod(ds).Render())
+	line(TaxComponents(ds).Render())
+
+	// Fig. 14 panels + Fig. 15
+	var studied []string
+	for _, s := range fleet.EightServices() {
+		studied = append(studied, s.Method)
+		line(ServiceBreakdown(ds, s.Method).Render())
+	}
+	line(RenderWhatIf(WhatIf(ds, studied)))
+
+	// Fig. 16
+	for _, method := range []string{"bigtable/SearchValue", "networkdisk/Write", "kvstore/Search"} {
+		line(ClusterVariation(ds, method, 0).Render())
+	}
+
+	// Fig. 17
+	line(RenderExoPanels(ExogenousAnalysis(ds, []string{
+		"bigtable/SearchValue", "kvstore/Search", "videometadata/GetMetadata",
+	})))
+
+	// Fig. 18
+	if opts.Generator != nil && opts.DiurnalSamples > 0 && opts.DB != nil {
+		fast, slow := extremeClusters(opts.Generator.Topo)
+		for _, cl := range []*sim.Cluster{fast, slow} {
+			if err := workload.WriteDiurnalDay(opts.DB, opts.Generator, "bigtable/SearchValue", cl, opts.DiurnalSamples); err == nil {
+				if d, err := DiurnalAnalysis(opts.DB, "bigtable/SearchValue", cl.Name); err == nil {
+					line(d.Render())
+				}
+			}
+		}
+	}
+
+	// Fig. 19
+	if opts.Generator != nil {
+		m := opts.Generator.Cat.MethodByName("spanner/ReadRows")
+		if m != nil {
+			server := opts.Generator.Topo.Clusters[m.HomeClusters[0]]
+			if cc, err := CrossClusterAnalysis(opts.Generator, "spanner/ReadRows", server, 0); err == nil {
+				line(cc.Render())
+			}
+		}
+	}
+
+	// Figs. 20-21
+	line(CycleTax(ds).Render())
+	line(CPUByMethod(ds).Render())
+	corr := CPUCorrelationAnalysis(ds)
+	line(fmt.Sprintf("Fig.21 correlations: size-vs-CPU %.3f, latency-vs-CPU %.3f (paper: none)",
+		corr.SizeVsCPU, corr.LatencyVsCPU))
+
+	// Fig. 22
+	if opts.LoadBalanceSeed != 0 {
+		line(LoadBalanceAnalysis(opts.LoadBalanceSeed).Render())
+	}
+
+	// Fig. 23
+	line(ErrorAnalysis(ds).Render())
+
+	// §2.5 / §5.2 implication studies.
+	line(OffloadCoverage(ds, 1500).Render())
+	line(OptimizationCoverage(ds).Render())
+	if opts.Generator != nil {
+		gen := opts.Generator
+		line(ColocationStudy(func() *workload.Generator {
+			return workload.NewGenerator(gen.Cat, gen.Topo, nil, 4242)
+		}, 250).Render())
+	}
+
+	return b.String()
+}
+
+// extremeClusters returns the fastest and slowest clusters by platform
+// speed (the Fig. 18 fast/slow pair).
+func extremeClusters(topo *sim.Topology) (fast, slow *sim.Cluster) {
+	fast, slow = topo.Clusters[0], topo.Clusters[0]
+	for _, c := range topo.Clusters {
+		if c.SpeedFactor < fast.SpeedFactor {
+			fast = c
+		}
+		if c.SpeedFactor > slow.SpeedFactor {
+			slow = c
+		}
+	}
+	return fast, slow
+}

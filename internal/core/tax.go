@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
+	"rpcscale/internal/workload"
+)
+
+// TaxResult is Fig. 10: fleet-wide RPC latency tax, on average and at the
+// P95 tail, with the queue/stack/wire decomposition.
+type TaxResult struct {
+	// MeanTaxShare is total tax time / total completion time (the
+	// paper's "average tax is 2.0%").
+	MeanTaxShare float64
+	// Wire/Stack/QueueShare decompose MeanTaxShare (paper: 1.1%, 0.49%,
+	// 0.43%).
+	WireShare  float64
+	StackShare float64
+	QueueShare float64
+
+	// Tail variants: the same quantities over spans whose completion
+	// time is at or beyond the fleet P95.
+	TailTaxShare   float64
+	TailWireShare  float64
+	TailStackShare float64
+	TailQueueShare float64
+
+	P95Threshold time.Duration
+	Spans        int
+}
+
+// TaxAnalysis computes Fig. 10 over the volume mix. The tail panel
+// (Fig. 10c/d) selects spans at or beyond their *own method's* P95 —
+// "RPCs with P95 tail latency" in the paper's phrasing — rather than a
+// fleet-absolute threshold, which would merely select the slowest
+// methods.
+func TaxAnalysis(ds *workload.Dataset) *TaxResult {
+	perMethodTotals := make(map[string]*stats.Sample)
+	for _, s := range ds.VolumeSpans {
+		if s.Err.IsError() {
+			continue
+		}
+		t := perMethodTotals[s.Method]
+		if t == nil {
+			t = stats.NewSample(64)
+			perMethodTotals[s.Method] = t
+		}
+		t.Add(float64(s.Breakdown.Total()))
+	}
+	p95Of := make(map[string]float64, len(perMethodTotals))
+	var fleet stats.Sample
+	for m, t := range perMethodTotals {
+		p95Of[m] = t.Quantile(0.95)
+		fleet.Add(t.Quantile(0.95))
+	}
+	fleetP95 := fleet.Quantile(0.5) // representative threshold for display
+
+	var sumTotal, sumWire, sumStack, sumQueue float64
+	var tTotal, tWire, tStack, tQueue float64
+	n := 0
+	for _, s := range ds.VolumeSpans {
+		if s.Err.IsError() {
+			continue
+		}
+		n++
+		tot := float64(s.Breakdown.Total())
+		w := float64(s.Breakdown.Wire())
+		st := float64(s.Breakdown.Stack())
+		q := float64(s.Breakdown.Queue())
+		sumTotal += tot
+		sumWire += w
+		sumStack += st
+		sumQueue += q
+		if tot >= p95Of[s.Method] {
+			tTotal += tot
+			tWire += w
+			tStack += st
+			tQueue += q
+		}
+	}
+	res := &TaxResult{P95Threshold: time.Duration(int64(fleetP95)), Spans: n}
+	if sumTotal > 0 {
+		res.WireShare = sumWire / sumTotal
+		res.StackShare = sumStack / sumTotal
+		res.QueueShare = sumQueue / sumTotal
+		res.MeanTaxShare = res.WireShare + res.StackShare + res.QueueShare
+	}
+	if tTotal > 0 {
+		res.TailWireShare = tWire / tTotal
+		res.TailStackShare = tStack / tTotal
+		res.TailQueueShare = tQueue / tTotal
+		res.TailTaxShare = res.TailWireShare + res.TailStackShare + res.TailQueueShare
+	}
+	return res
+}
+
+// Render formats Fig. 10.
+func (r *TaxResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.10  Fleet-wide RPC latency tax (%d spans, P95=%v)\n", r.Spans, r.P95Threshold.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  mean:  tax %.2f%%  (wire %.2f%%, stack %.2f%%, queue %.2f%%)\n",
+		r.MeanTaxShare*100, r.WireShare*100, r.StackShare*100, r.QueueShare*100)
+	fmt.Fprintf(&b, "  P95+:  tax %.2f%%  (wire %.2f%%, stack %.2f%%, queue %.2f%%)\n",
+		r.TailTaxShare*100, r.TailWireShare*100, r.TailStackShare*100, r.TailQueueShare*100)
+	return b.String()
+}
+
+// TaxRatioByMethod is Fig. 11: the per-method distribution of the tax
+// ratio (tax / completion time).
+type TaxRatioByMethodResult struct {
+	Rows []MethodDist // unit: ratio; sorted by median
+
+	MedianMethodMedian float64 // paper: 0.086
+	TopDecileMedian    float64 // paper: 0.38 (10% highest-overhead methods)
+	TopDecileP90       float64 // paper: 0.96
+}
+
+// TaxRatioByMethod computes Fig. 11 from stratified samples.
+func TaxRatioByMethod(ds *workload.Dataset) *TaxRatioByMethodResult {
+	base := perMethod(ds, "tax ratio", "ratio", 1e-6, 1.1,
+		func(s *trace.Span) (float64, bool) {
+			ratio := s.Breakdown.TaxRatio()
+			if ratio <= 0 {
+				return 1e-6, true
+			}
+			return ratio, true
+		})
+	res := &TaxRatioByMethodResult{Rows: base.Rows}
+	n := len(res.Rows)
+	if n == 0 {
+		return res
+	}
+	res.MedianMethodMedian = res.Rows[n/2].Summary.P50
+	// Top decile by median ratio: last 10% of the sorted rows.
+	top := res.Rows[n-n/10:]
+	meds := stats.NewSample(len(top))
+	p90s := stats.NewSample(len(top))
+	for _, row := range top {
+		meds.Add(row.Summary.P50)
+		p90s.Add(row.Summary.P90)
+	}
+	res.TopDecileMedian = meds.Quantile(0.5)
+	res.TopDecileP90 = p90s.Quantile(0.5)
+	return res
+}
+
+// Render formats Fig. 11.
+func (r *TaxRatioByMethodResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig.11  Per-method tax ratio (%d methods)\n", len(r.Rows))
+	fmt.Fprintf(&b, "  median method's median ratio: %.1f%%\n", r.MedianMethodMedian*100)
+	fmt.Fprintf(&b, "  top-overhead decile: median %.1f%%, P90 %.1f%%\n",
+		r.TopDecileMedian*100, r.TopDecileP90*100)
+	return b.String()
+}
+
+// TaxComponentsResult covers Figs. 12 and 13: per-method network
+// wire+stack latency and per-method queuing latency.
+type TaxComponentsResult struct {
+	WireNet *PerMethodResult // Fig. 12
+	Queue   *PerMethodResult // Fig. 13
+
+	// Fig. 12 anchors.
+	FastHalfWireP99 time.Duration // paper: <= 115 ms
+	Slow10pWireP99  time.Duration // paper: >= 271 ms
+	Slow1pWireP99   time.Duration // paper: ~826 ms
+	// Fig. 13 anchors.
+	MedianQueueMedian time.Duration // paper: ~360 us
+	MedianQueueP99    time.Duration // paper: ~102 ms
+	TopQueueMedian    time.Duration // paper: ~1.1 ms
+	TopQueueP99       time.Duration // paper: ~611 ms
+}
+
+// TaxComponents computes Figs. 12/13.
+func TaxComponents(ds *workload.Dataset) *TaxComponentsResult {
+	res := &TaxComponentsResult{
+		WireNet: perMethod(ds, "wire + stack latency", "ns", 100, stats.DefaultGrowth,
+			func(s *trace.Span) (float64, bool) {
+				return float64(s.Breakdown.Wire() + s.Breakdown.Stack()), true
+			}),
+		Queue: perMethod(ds, "queuing latency", "ns", 100, stats.DefaultGrowth,
+			func(s *trace.Span) (float64, bool) { return float64(s.Breakdown.Queue()), true }),
+	}
+	// Fig. 12: methods sorted by median wire+stack; anchor P99s.
+	if n := len(res.WireNet.Rows); n > 0 {
+		p99s := make([]float64, n)
+		for i, row := range res.WireNet.Rows {
+			p99s[i] = row.Summary.P99
+		}
+		sorted := append([]float64(nil), p99s...)
+		sort.Float64s(sorted)
+		res.FastHalfWireP99 = time.Duration(int64(sorted[n/2]))
+		res.Slow10pWireP99 = time.Duration(int64(sorted[n-n/10-1]))
+		res.Slow1pWireP99 = time.Duration(int64(sorted[n-max(n/100, 1)]))
+	}
+	// Fig. 13 anchors.
+	if n := len(res.Queue.Rows); n > 0 {
+		mid := res.Queue.Rows[n/2]
+		res.MedianQueueMedian = time.Duration(int64(mid.Summary.P50))
+		res.MedianQueueP99 = time.Duration(int64(mid.Summary.P99))
+		top := res.Queue.Rows[n-n/10:]
+		meds := stats.NewSample(len(top))
+		p99s := stats.NewSample(len(top))
+		for _, row := range top {
+			meds.Add(row.Summary.P50)
+			p99s.Add(row.Summary.P99)
+		}
+		res.TopQueueMedian = time.Duration(int64(meds.Quantile(0.5)))
+		res.TopQueueP99 = time.Duration(int64(p99s.Quantile(0.5)))
+	}
+	return res
+}
+
+// Render formats Figs. 12/13 anchors.
+func (r *TaxComponentsResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Fig.12  Per-method wire+stack latency\n")
+	fmt.Fprintf(&b, "  P99 of fastest half of methods:  <= %v\n", r.FastHalfWireP99.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  P99 of slowest decile:           >= %v\n", r.Slow10pWireP99.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  P99 of slowest 1%%:               %v\n", r.Slow1pWireP99.Round(time.Millisecond))
+	b.WriteString("Fig.13  Per-method queuing latency\n")
+	fmt.Fprintf(&b, "  median method: median %v, P99 %v\n",
+		r.MedianQueueMedian.Round(time.Microsecond), r.MedianQueueP99.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  top queue decile: median %v, P99 %v\n",
+		r.TopQueueMedian.Round(time.Microsecond), r.TopQueueP99.Round(time.Millisecond))
+	return b.String()
+}

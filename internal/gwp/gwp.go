@@ -1,0 +1,163 @@
+// Package gwp implements a Google-Wide-Profiling-style fleet CPU profiler:
+// sampled cycle counts attributed to application work or to one of the RPC
+// cycle-tax categories. Figure 20 of the paper — the 7.1% fleet-wide RPC
+// cycle tax split into compression (3.1%), networking (1.7%),
+// serialization (1.2%), and the RPC library itself (1.1%) — is computed
+// from exactly this attribution.
+package gwp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Category attributes CPU cycles to a layer of the stack.
+type Category uint8
+
+// Cycle attribution categories. Application is the handler itself;
+// everything else is RPC cycle tax.
+const (
+	Application Category = iota
+	Compression
+	Networking
+	Serialization
+	RPCLibrary
+
+	NumCategories int = iota
+)
+
+var categoryNames = [NumCategories]string{
+	"Application", "Compression", "Networking", "Serialization", "RPCLibrary",
+}
+
+// String returns the category name.
+func (c Category) String() string {
+	if int(c) >= NumCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// TaxCategories lists the non-application categories.
+func TaxCategories() []Category {
+	return []Category{Compression, Networking, Serialization, RPCLibrary}
+}
+
+// Profiler accumulates sampled cycles. It is safe for concurrent use.
+// Cycles are in normalized units (architecture-neutral), as in Fig. 21.
+type Profiler struct {
+	mu       sync.Mutex
+	byCat    [NumCategories]float64
+	bySvc    map[string]*ServiceProfile
+	byMethod map[string]float64 // total cycles per method (all categories)
+}
+
+// ServiceProfile is the per-service cycle attribution.
+type ServiceProfile struct {
+	Service string
+	ByCat   [NumCategories]float64
+}
+
+// Total returns all cycles attributed to the service.
+func (p *ServiceProfile) Total() float64 {
+	var t float64
+	for _, v := range p.ByCat {
+		t += v
+	}
+	return t
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{
+		bySvc:    make(map[string]*ServiceProfile),
+		byMethod: make(map[string]float64),
+	}
+}
+
+// Record attributes cycles to a (service, method, category) triple.
+func (p *Profiler) Record(service, method string, cat Category, cycles float64) {
+	if cycles <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.byCat[cat] += cycles
+	sp := p.bySvc[service]
+	if sp == nil {
+		sp = &ServiceProfile{Service: service}
+		p.bySvc[service] = sp
+	}
+	sp.ByCat[cat] += cycles
+	p.byMethod[method] += cycles
+}
+
+// Snapshot is a point-in-time view of fleet cycle attribution.
+type Snapshot struct {
+	ByCat    [NumCategories]float64
+	Services []*ServiceProfile // sorted by total cycles, descending
+	ByMethod map[string]float64
+}
+
+// Total returns all cycles in the snapshot.
+func (s *Snapshot) Total() float64 {
+	var t float64
+	for _, v := range s.ByCat {
+		t += v
+	}
+	return t
+}
+
+// TaxCycles returns the cycles in tax categories.
+func (s *Snapshot) TaxCycles() float64 { return s.Total() - s.ByCat[Application] }
+
+// TaxShare returns the fraction of all cycles that are RPC tax — the
+// paper's headline 7.1%.
+func (s *Snapshot) TaxShare() float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	return s.TaxCycles() / total
+}
+
+// CategoryShare returns a category's fraction of all cycles.
+func (s *Snapshot) CategoryShare(cat Category) float64 {
+	total := s.Total()
+	if total == 0 {
+		return 0
+	}
+	return s.ByCat[cat] / total
+}
+
+// Snapshot captures the current attribution.
+func (p *Profiler) Snapshot() *Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := &Snapshot{ByCat: p.byCat, ByMethod: make(map[string]float64, len(p.byMethod))}
+	for m, v := range p.byMethod {
+		snap.ByMethod[m] = v
+	}
+	for _, sp := range p.bySvc {
+		cp := *sp
+		snap.Services = append(snap.Services, &cp)
+	}
+	sort.Slice(snap.Services, func(i, j int) bool {
+		ti, tj := snap.Services[i].Total(), snap.Services[j].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return snap.Services[i].Service < snap.Services[j].Service
+	})
+	return snap
+}
+
+// Reset clears all recorded samples.
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.byCat = [NumCategories]float64{}
+	p.bySvc = make(map[string]*ServiceProfile)
+	p.byMethod = make(map[string]float64)
+}

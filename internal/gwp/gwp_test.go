@@ -1,0 +1,141 @@
+package gwp
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSnapshot(t *testing.T) {
+	p := New()
+	p.Record("networkdisk", "networkdisk/Write", Application, 80)
+	p.Record("networkdisk", "networkdisk/Write", Compression, 10)
+	p.Record("networkdisk", "networkdisk/Write", Networking, 5)
+	p.Record("spanner", "spanner/Read", Application, 100)
+	p.Record("spanner", "spanner/Read", Serialization, 5)
+
+	s := p.Snapshot()
+	if got := s.Total(); got != 200 {
+		t.Errorf("total = %v", got)
+	}
+	if got := s.TaxCycles(); got != 20 {
+		t.Errorf("tax cycles = %v", got)
+	}
+	if got := s.TaxShare(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("tax share = %v", got)
+	}
+	if got := s.CategoryShare(Compression); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("compression share = %v", got)
+	}
+}
+
+func TestServicesSortedByTotal(t *testing.T) {
+	p := New()
+	p.Record("small", "small/M", Application, 1)
+	p.Record("big", "big/M", Application, 100)
+	p.Record("mid", "mid/M", Application, 10)
+	s := p.Snapshot()
+	if len(s.Services) != 3 {
+		t.Fatalf("services = %d", len(s.Services))
+	}
+	if s.Services[0].Service != "big" || s.Services[2].Service != "small" {
+		t.Errorf("order = %v %v %v", s.Services[0].Service, s.Services[1].Service, s.Services[2].Service)
+	}
+}
+
+func TestPerMethodTotals(t *testing.T) {
+	p := New()
+	p.Record("s", "s/A", Application, 3)
+	p.Record("s", "s/A", RPCLibrary, 2)
+	p.Record("s", "s/B", Application, 7)
+	s := p.Snapshot()
+	if s.ByMethod["s/A"] != 5 || s.ByMethod["s/B"] != 7 {
+		t.Errorf("byMethod = %v", s.ByMethod)
+	}
+}
+
+func TestNonPositiveIgnored(t *testing.T) {
+	p := New()
+	p.Record("s", "s/M", Application, 0)
+	p.Record("s", "s/M", Application, -5)
+	if got := p.Snapshot().Total(); got != 0 {
+		t.Errorf("total = %v", got)
+	}
+}
+
+func TestEmptySnapshotShares(t *testing.T) {
+	s := New().Snapshot()
+	if s.TaxShare() != 0 || s.CategoryShare(Compression) != 0 {
+		t.Error("empty shares should be 0")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	p := New()
+	p.Record("s", "s/M", Application, 5)
+	s := p.Snapshot()
+	p.Record("s", "s/M", Application, 5)
+	if s.Total() != 5 {
+		t.Error("snapshot mutated by later records")
+	}
+	s.ByMethod["s/M"] = 999
+	if p.Snapshot().ByMethod["s/M"] != 10 {
+		t.Error("snapshot map aliased profiler state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	p := New()
+	p.Record("s", "s/M", Compression, 5)
+	p.Reset()
+	s := p.Snapshot()
+	if s.Total() != 0 || len(s.Services) != 0 || len(s.ByMethod) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				p.Record("s", "s/M", Application, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := p.Snapshot().Total(); got != 8000 {
+		t.Errorf("total = %v", got)
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	if Application.String() != "Application" || Compression.String() != "Compression" {
+		t.Error("category names wrong")
+	}
+	if Category(99).String() == "" {
+		t.Error("unknown category should format")
+	}
+	if len(TaxCategories()) != NumCategories-1 {
+		t.Error("TaxCategories should exclude Application only")
+	}
+}
+
+func TestPaperTaxShape(t *testing.T) {
+	// Feed the profiler the paper's Fig. 20 proportions and verify the
+	// shares come back out: app 92.9%, compression 3.1%, networking 1.7%,
+	// serialization 1.2%, RPC library 1.1% -> tax 7.1%.
+	p := New()
+	p.Record("fleet", "fleet/all", Application, 92.9)
+	p.Record("fleet", "fleet/all", Compression, 3.1)
+	p.Record("fleet", "fleet/all", Networking, 1.7)
+	p.Record("fleet", "fleet/all", Serialization, 1.2)
+	p.Record("fleet", "fleet/all", RPCLibrary, 1.1)
+	s := p.Snapshot()
+	if got := s.TaxShare(); math.Abs(got-0.071) > 1e-9 {
+		t.Errorf("tax share = %v, want 0.071", got)
+	}
+}

@@ -1,0 +1,270 @@
+// Package loadbalance implements RPC load-balancing policies and the
+// machine-level experiment behind the paper's §4.3: the distribution of
+// CPU usage across clusters (imbalanced, because inter-cluster routing
+// optimizes network latency rather than load) and across machines within
+// a cluster (tight, except for data-dependent services whose hot shards
+// pin work to specific machines).
+package loadbalance
+
+import (
+	"time"
+
+	"rpcscale/internal/sim"
+	"rpcscale/internal/stats"
+)
+
+// Policy selects a machine for one request.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick chooses among servers; load-aware policies may inspect queue
+	// depth and in-flight counts.
+	Pick(rng *stats.RNG, servers []*sim.Server) *sim.Server
+}
+
+// RoundRobin cycles through machines.
+type RoundRobin struct{ next int }
+
+// Name returns "round-robin".
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick returns the next machine in rotation.
+func (p *RoundRobin) Pick(_ *stats.RNG, servers []*sim.Server) *sim.Server {
+	s := servers[p.next%len(servers)]
+	p.next++
+	return s
+}
+
+// Random picks uniformly.
+type Random struct{}
+
+// Name returns "random".
+func (Random) Name() string { return "random" }
+
+// Pick returns a uniformly random machine.
+func (Random) Pick(rng *stats.RNG, servers []*sim.Server) *sim.Server {
+	return servers[rng.Intn(len(servers))]
+}
+
+// PowerOfTwo samples two machines and keeps the less loaded — the
+// classic low-coordination load-aware policy.
+type PowerOfTwo struct{}
+
+// Name returns "power-of-two".
+func (PowerOfTwo) Name() string { return "power-of-two" }
+
+// Pick compares two random machines by queue depth + in-flight work.
+func (PowerOfTwo) Pick(rng *stats.RNG, servers []*sim.Server) *sim.Server {
+	a := servers[rng.Intn(len(servers))]
+	b := servers[rng.Intn(len(servers))]
+	if load(a) <= load(b) {
+		return a
+	}
+	return b
+}
+
+// LeastLoaded scans all machines — an idealized omniscient balancer.
+type LeastLoaded struct{}
+
+// Name returns "least-loaded".
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick returns the machine with the smallest instantaneous load.
+func (LeastLoaded) Pick(_ *stats.RNG, servers []*sim.Server) *sim.Server {
+	best := servers[0]
+	for _, s := range servers[1:] {
+		if load(s) < load(best) {
+			best = s
+		}
+	}
+	return best
+}
+
+func load(s *sim.Server) int { return s.QueueLen() + s.InFlight() }
+
+// Config sizes one load-balancing experiment (one service).
+type Config struct {
+	Clusters           int
+	MachinesPerCluster int
+	// Capacity is per-machine concurrency (worker threads).
+	Capacity int
+	// MeanService and ServiceSigma define the lognormal service-time
+	// demand of one request.
+	MeanService  time.Duration
+	ServiceSigma float64
+	// OfferedLoad is the target mean utilization across the fleet, 0..1.
+	OfferedLoad float64
+	// ClusterImbalance is the lognormal sigma of per-cluster demand
+	// weights: 0 = perfectly balanced; ~0.8 reproduces the paper's
+	// inter-cluster spread.
+	ClusterImbalance float64
+	// KeySkew is the fraction of requests pinned to a shard-affine
+	// machine (data-dependent routing); the Zipf skew over machines
+	// models hot shards. 0 disables affinity.
+	KeySkew float64
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// Policy balances the non-pinned requests within a cluster.
+	Policy Policy
+	Seed   uint64
+}
+
+// DefaultConfig gives a moderate storage-like service.
+func DefaultConfig() Config {
+	return Config{
+		Clusters:           12,
+		MachinesPerCluster: 12,
+		Capacity:           4,
+		MeanService:        2 * time.Millisecond,
+		ServiceSigma:       0.8,
+		OfferedLoad:        0.55,
+		ClusterImbalance:   0.8,
+		KeySkew:            0,
+		Duration:           4 * time.Second,
+		Policy:             &RoundRobin{},
+		Seed:               1,
+	}
+}
+
+// Result reports the experiment outcome.
+type Result struct {
+	Policy string
+	// ClusterUsage is each cluster's used/limit CPU ratio (Fig. 22's
+	// solid lines).
+	ClusterUsage []float64
+	// MachineUsage[c] lists the per-machine ratios in cluster c (the
+	// dashed lines).
+	MachineUsage [][]float64
+	// Waits is the queue-wait distribution across all requests.
+	Waits *stats.Hist
+	// Served counts completed requests.
+	Served uint64
+}
+
+// MachineSpread returns the max/mean usage ratio within each cluster,
+// averaged — 1.0 is perfect balance.
+func (r *Result) MachineSpread() float64 {
+	if len(r.MachineUsage) == 0 {
+		return 0
+	}
+	var total float64
+	for _, machines := range r.MachineUsage {
+		var max, sum float64
+		for _, u := range machines {
+			if u > max {
+				max = u
+			}
+			sum += u
+		}
+		if sum > 0 {
+			total += max / (sum / float64(len(machines)))
+		}
+	}
+	return total / float64(len(r.MachineUsage))
+}
+
+// Run executes the experiment on a fresh discrete-event engine.
+func Run(cfg Config) Result {
+	if cfg.Clusters <= 0 || cfg.MachinesPerCluster <= 0 {
+		panic("loadbalance: need at least one cluster and machine")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = &RoundRobin{}
+	}
+	rng := stats.NewRNG(cfg.Seed).Child("lb")
+	engine := sim.NewEngine()
+
+	// Build machines.
+	machines := make([][]*sim.Server, cfg.Clusters)
+	for c := range machines {
+		machines[c] = make([]*sim.Server, cfg.MachinesPerCluster)
+		for m := range machines[c] {
+			machines[c][m] = sim.NewServer(engine, "", cfg.Capacity, sim.FIFO)
+		}
+	}
+
+	// Per-cluster demand weights: lognormal imbalance, normalized so the
+	// fleet-wide offered load matches the target.
+	weights := make([]float64, cfg.Clusters)
+	var wSum float64
+	for c := range weights {
+		weights[c] = stats.LogNormal{Mu: 0, Sigma: cfg.ClusterImbalance}.Sample(rng)
+		wSum += weights[c]
+	}
+	// Total service capacity (machine-seconds per second).
+	fleetCapacity := float64(cfg.Clusters * cfg.MachinesPerCluster * cfg.Capacity)
+	// Service-time distribution with the requested mean.
+	sigma := cfg.ServiceSigma
+	mu := 0.0
+	svcDist := stats.LogNormal{Mu: mu, Sigma: sigma}
+	meanFactor := svcDist.Mean()
+	targetRate := cfg.OfferedLoad * fleetCapacity / cfg.MeanService.Seconds() // requests/sec fleet-wide
+
+	// Shard affinity tables (hot machines) per cluster.
+	shardZipf := stats.NewZipf(cfg.MachinesPerCluster, 1.3, 2)
+
+	waits := stats.NewLatencyHist()
+	var served uint64
+
+	// Arrival processes: one Poisson stream per cluster.
+	for c := 0; c < cfg.Clusters; c++ {
+		c := c
+		rate := targetRate * weights[c] / wSum // requests/sec
+		if rate <= 0 {
+			continue
+		}
+		interMean := time.Duration(float64(time.Second) / rate)
+		cRng := rng.Child(machines[c][0].Name + "arrivals" + string(rune('a'+c)))
+		var schedule func()
+		schedule = func() {
+			gap := time.Duration(cRng.ExpFloat64() * float64(interMean))
+			engine.After(gap, func() {
+				if engine.Now() > cfg.Duration {
+					return
+				}
+				var target *sim.Server
+				if cfg.KeySkew > 0 && cRng.Bool(cfg.KeySkew) {
+					target = machines[c][shardZipf.Sample(cRng)]
+				} else {
+					target = cfg.Policy.Pick(cRng, machines[c])
+				}
+				service := time.Duration(svcDist.Sample(cRng) / meanFactor * float64(cfg.MeanService))
+				target.Submit(&sim.Job{
+					Service: service,
+					Done: func(wait time.Duration) {
+						waits.Add(float64(wait))
+						served++
+					},
+				})
+				schedule()
+			})
+		}
+		schedule()
+	}
+
+	engine.RunUntil(cfg.Duration)
+	// Let in-flight work drain for final accounting.
+	engine.Run()
+
+	res := Result{
+		Policy:       cfg.Policy.Name(),
+		ClusterUsage: make([]float64, cfg.Clusters),
+		MachineUsage: make([][]float64, cfg.Clusters),
+		Waits:        waits,
+		Served:       served,
+	}
+	for c := range machines {
+		var sum float64
+		res.MachineUsage[c] = make([]float64, cfg.MachinesPerCluster)
+		for m, srv := range machines[c] {
+			u := srv.Utilization()
+			res.MachineUsage[c][m] = u
+			sum += u
+		}
+		res.ClusterUsage[c] = sum / float64(cfg.MachinesPerCluster)
+	}
+	return res
+}

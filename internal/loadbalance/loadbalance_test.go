@@ -1,0 +1,157 @@
+package loadbalance
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"rpcscale/internal/sim"
+	"rpcscale/internal/stats"
+)
+
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Clusters = 6
+	cfg.MachinesPerCluster = 8
+	cfg.Duration = 1 * time.Second
+	return cfg
+}
+
+func TestRunBasics(t *testing.T) {
+	cfg := quickConfig()
+	res := Run(cfg)
+	if res.Served == 0 {
+		t.Fatal("nothing served")
+	}
+	if len(res.ClusterUsage) != cfg.Clusters {
+		t.Fatalf("cluster usage entries = %d", len(res.ClusterUsage))
+	}
+	for c, u := range res.ClusterUsage {
+		if u < 0 || u > 1.01 {
+			t.Errorf("cluster %d usage %v out of range", c, u)
+		}
+		if len(res.MachineUsage[c]) != cfg.MachinesPerCluster {
+			t.Errorf("cluster %d machine entries = %d", c, len(res.MachineUsage[c]))
+		}
+	}
+	// Fleet-wide mean near the offered load.
+	var mean float64
+	for _, u := range res.ClusterUsage {
+		mean += u
+	}
+	mean /= float64(len(res.ClusterUsage))
+	if math.Abs(mean-cfg.OfferedLoad) > 0.25 {
+		t.Errorf("mean usage = %.2f, offered %.2f", mean, cfg.OfferedLoad)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := Run(quickConfig()), Run(quickConfig())
+	if a.Served != b.Served {
+		t.Fatalf("runs differ: %d vs %d served", a.Served, b.Served)
+	}
+	for c := range a.ClusterUsage {
+		if a.ClusterUsage[c] != b.ClusterUsage[c] {
+			t.Fatal("cluster usage not deterministic")
+		}
+	}
+}
+
+func TestClusterImbalanceVisible(t *testing.T) {
+	// With high imbalance, cluster usages must spread widely; with zero
+	// imbalance they must be tight.
+	spread := func(imb float64) float64 {
+		cfg := quickConfig()
+		cfg.ClusterImbalance = imb
+		res := Run(cfg)
+		us := append([]float64(nil), res.ClusterUsage...)
+		sort.Float64s(us)
+		return us[len(us)-1] - us[0]
+	}
+	if tight, wide := spread(0), spread(1.2); wide <= tight {
+		t.Errorf("imbalance had no effect: tight=%v wide=%v", tight, wide)
+	}
+}
+
+func TestKeySkewUnbalancesMachines(t *testing.T) {
+	base := quickConfig()
+	base.Policy = PowerOfTwo{}
+	balanced := Run(base)
+
+	skewed := base
+	skewed.KeySkew = 0.7
+	skewRes := Run(skewed)
+
+	if skewRes.MachineSpread() <= balanced.MachineSpread() {
+		t.Errorf("key skew did not increase machine spread: %.3f vs %.3f",
+			skewRes.MachineSpread(), balanced.MachineSpread())
+	}
+}
+
+func TestLoadAwareBeatsRandomAtHighLoad(t *testing.T) {
+	run := func(p Policy) time.Duration {
+		cfg := quickConfig()
+		cfg.OfferedLoad = 0.85
+		cfg.Policy = p
+		res := Run(cfg)
+		return time.Duration(res.Waits.Percentile(99))
+	}
+	randomP99 := run(Random{})
+	p2cP99 := run(PowerOfTwo{})
+	if p2cP99 >= randomP99 {
+		t.Errorf("power-of-two P99 %v >= random P99 %v", p2cP99, randomP99)
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	engine := sim.NewEngine()
+	servers := []*sim.Server{
+		sim.NewServer(engine, "a", 1, sim.FIFO),
+		sim.NewServer(engine, "b", 1, sim.FIFO),
+		sim.NewServer(engine, "c", 1, sim.FIFO),
+	}
+	rng := stats.NewRNG(1)
+
+	rr := &RoundRobin{}
+	if rr.Pick(rng, servers) != servers[0] || rr.Pick(rng, servers) != servers[1] ||
+		rr.Pick(rng, servers) != servers[2] || rr.Pick(rng, servers) != servers[0] {
+		t.Error("round robin order wrong")
+	}
+
+	// Load one server; least-loaded must avoid it.
+	servers[0].Submit(&sim.Job{Service: time.Hour})
+	servers[0].Submit(&sim.Job{Service: time.Hour})
+	if got := (LeastLoaded{}).Pick(rng, servers); got == servers[0] {
+		t.Error("least-loaded picked the busy server")
+	}
+	// Power-of-two never crashes and returns a member.
+	for i := 0; i < 100; i++ {
+		got := (PowerOfTwo{}).Pick(rng, servers)
+		if got != servers[0] && got != servers[1] && got != servers[2] {
+			t.Fatal("pick outside set")
+		}
+	}
+
+	for _, p := range []Policy{&RoundRobin{}, Random{}, PowerOfTwo{}, LeastLoaded{}} {
+		if p.Name() == "" {
+			t.Error("empty policy name")
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty config")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestMachineSpreadEmpty(t *testing.T) {
+	var r Result
+	if r.MachineSpread() != 0 {
+		t.Error("empty spread should be 0")
+	}
+}

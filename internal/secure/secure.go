@@ -1,0 +1,109 @@
+// Package secure provides per-connection payload encryption for the RPC
+// stack. Every RPC in the studied fleet is encrypted in transit; the paper
+// counts encryption inside the "RPC Processing and Network Stack" latency
+// component and inside the cycle tax. This implementation uses AES-GCM
+// with a per-connection session key established by the transport
+// handshake.
+package secure
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// KeySize is the AES-256 key size in bytes.
+const KeySize = 32
+
+// Overhead is the per-message ciphertext expansion: nonce + GCM tag.
+const Overhead = 12 + 16
+
+// ErrDecrypt reports an authentication failure or malformed ciphertext.
+var ErrDecrypt = errors.New("secure: message authentication failed")
+
+// Stats counts encryption work for cycle attribution.
+type Stats struct {
+	Seals          atomic.Uint64
+	Opens          atomic.Uint64
+	BytesEncrypted atomic.Uint64
+}
+
+// Session encrypts and decrypts messages under one session key. Each
+// message uses a fresh counter-derived nonce; a Session must only be used
+// by one direction of one connection (which is how the transport wires it).
+type Session struct {
+	aead  cipher.AEAD
+	ctr   atomic.Uint64
+	stats *Stats
+}
+
+// NewSessionKey returns a fresh random session key.
+func NewSessionKey() ([]byte, error) {
+	key := make([]byte, KeySize)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("secure: generating key: %w", err)
+	}
+	return key, nil
+}
+
+// DeriveKey derives a session key deterministically from a shared secret
+// and a direction label. The loopback transport uses this in place of a
+// full key exchange: both ends know the secret out of band.
+func DeriveKey(secret []byte, direction string) []byte {
+	h := sha256.New()
+	h.Write(secret)
+	h.Write([]byte{0})
+	h.Write([]byte(direction))
+	return h.Sum(nil)
+}
+
+// NewSession returns a session using the given 32-byte key. stats may be
+// nil.
+func NewSession(key []byte, stats *Stats) (*Session, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("secure: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("secure: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("secure: %w", err)
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	return &Session{aead: aead, stats: stats}, nil
+}
+
+// Stats returns the shared counters.
+func (s *Session) Stats() *Stats { return s.stats }
+
+// Seal encrypts plaintext, producing nonce||ciphertext||tag.
+func (s *Session) Seal(plaintext []byte) []byte {
+	s.stats.Seals.Add(1)
+	s.stats.BytesEncrypted.Add(uint64(len(plaintext)))
+	nonce := make([]byte, 12, 12+len(plaintext)+16)
+	binary.BigEndian.PutUint64(nonce[4:], s.ctr.Add(1))
+	return s.aead.Seal(nonce, nonce, plaintext, nil)
+}
+
+// Open decrypts a message produced by Seal.
+func (s *Session) Open(msg []byte) ([]byte, error) {
+	s.stats.Opens.Add(1)
+	if len(msg) < Overhead {
+		return nil, ErrDecrypt
+	}
+	nonce, ciphertext := msg[:12], msg[12:]
+	out, err := s.aead.Open(nil, nonce, ciphertext, nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return out, nil
+}

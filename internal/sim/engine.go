@@ -1,0 +1,104 @@
+// Package sim provides the fleet simulation substrate standing in for the
+// production environment the paper measured: a discrete-event engine, a
+// geographic topology with a speed-of-light WAN latency model, per-cluster
+// exogenous state (CPU utilization, memory bandwidth, scheduling wakeup
+// delays, CPI) with diurnal dynamics, and queueing models for server
+// residence time.
+//
+// The workload layer (internal/workload) drives these models to produce
+// trace spans whose distributions are emergent — the simulator never
+// fabricates a figure's numbers directly; it produces per-RPC component
+// latencies from structural models, and the analyses aggregate them.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler. Time is a
+// time.Duration offset from the simulation epoch. Engines are not safe
+// for concurrent use: all model code runs inside event callbacks.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn at absolute simulation time t. Scheduling in the past
+// (t < Now) fires the event at the current time instead, preserving
+// causal order.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn d after the current time.
+func (e *Engine) After(d time.Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Step runs the next event, reporting whether one existed.
+func (e *Engine) Step() bool {
+	if e.events.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events up to and including time t; the clock ends at
+// t even if the event queue drains earlier.
+func (e *Engine) RunUntil(t time.Duration) {
+	for e.events.Len() > 0 && e.events[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return e.events.Len() }
+
+// event is one scheduled callback; seq breaks ties FIFO.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,63 @@
+package stats
+
+import "testing"
+
+func BenchmarkHistAdd(b *testing.B) {
+	h := NewLatencyHist()
+	rng := NewRNG(1)
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = LogNormal{Mu: 13, Sigma: 2}.Sample(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(vals[i&4095])
+	}
+}
+
+func BenchmarkHistQuantile(b *testing.B) {
+	h := NewLatencyHist()
+	rng := NewRNG(2)
+	for i := 0; i < 100000; i++ {
+		h.Add(LogNormal{Mu: 13, Sigma: 2}.Sample(rng))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Quantile(0.99) <= 0 {
+			b.Fatal("bad quantile")
+		}
+	}
+}
+
+func BenchmarkLogNormalSample(b *testing.B) {
+	rng := NewRNG(3)
+	d := LogNormal{Mu: 13, Sigma: 1.5}
+	for i := 0; i < b.N; i++ {
+		if d.Sample(rng) <= 0 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+func BenchmarkMixtureSample(b *testing.B) {
+	rng := NewRNG(4)
+	m := NewMixture(
+		[]Dist{LogNormal{Mu: 10, Sigma: 1}, LogNormal{Mu: 14, Sigma: 0.6}, Pareto{Min: 1e6, Alpha: 1.2, Max: 1e10}},
+		[]float64{0.6, 0.35, 0.05},
+	)
+	for i := 0; i < b.N; i++ {
+		if m.Sample(rng) <= 0 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	rng := NewRNG(5)
+	z := NewZipf(10000, 1.2, 2)
+	for i := 0; i < b.N; i++ {
+		if z.Sample(rng) < 0 {
+			b.Fatal("bad rank")
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMomentsPerfectCorrelation(t *testing.T) {
+	var m Moments
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		m.Add(x, 3*x+5)
+	}
+	if r := m.Pearson(); math.Abs(r-1) > 1e-9 {
+		t.Errorf("Pearson = %v, want 1", r)
+	}
+	if s := m.Slope(); math.Abs(s-3) > 1e-9 {
+		t.Errorf("slope = %v, want 3", s)
+	}
+	if b := m.Intercept(); math.Abs(b-5) > 1e-9 {
+		t.Errorf("intercept = %v, want 5", b)
+	}
+}
+
+func TestMomentsAntiCorrelation(t *testing.T) {
+	var m Moments
+	for i := 0; i < 50; i++ {
+		m.Add(float64(i), -2*float64(i))
+	}
+	if r := m.Pearson(); math.Abs(r+1) > 1e-9 {
+		t.Errorf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestMomentsConstantInput(t *testing.T) {
+	var m Moments
+	for i := 0; i < 10; i++ {
+		m.Add(5, float64(i))
+	}
+	if r := m.Pearson(); r != 0 {
+		t.Errorf("Pearson with constant x = %v, want 0", r)
+	}
+	if s := m.Slope(); s != 0 {
+		t.Errorf("slope with constant x = %v", s)
+	}
+}
+
+func TestMomentsIndependence(t *testing.T) {
+	rng := NewRNG(11)
+	var m Moments
+	for i := 0; i < 100000; i++ {
+		m.Add(rng.Float64(), rng.Float64())
+	}
+	if r := m.Pearson(); math.Abs(r) > 0.02 {
+		t.Errorf("independent Pearson = %v, want ~0", r)
+	}
+	if math.Abs(m.MeanX()-0.5) > 0.01 || math.Abs(m.MeanY()-0.5) > 0.01 {
+		t.Errorf("means (%v, %v) deviate from 0.5", m.MeanX(), m.MeanY())
+	}
+	if math.Abs(m.VarX()-1.0/12) > 0.005 {
+		t.Errorf("variance %v deviates from 1/12", m.VarX())
+	}
+}
+
+func TestPearsonSliceEdgeCases(t *testing.T) {
+	if Pearson([]float64{1}, []float64{2}) != 0 {
+		t.Error("short slice should give 0")
+	}
+	if Pearson([]float64{1, 2}, []float64{3}) != 0 {
+		t.Error("mismatched length should give 0")
+	}
+}
+
+func TestSpearmanMonotoneNonlinear(t *testing.T) {
+	// Spearman is 1 for any monotone relationship, even wildly nonlinear.
+	xs, ys := make([]float64, 100), make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = math.Exp(float64(i) / 10)
+	}
+	if r := SpearmanRank(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("Spearman = %v, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{10, 20, 20, 30}
+	if r := SpearmanRank(xs, ys); math.Abs(r-1) > 1e-9 {
+		t.Errorf("Spearman with ties = %v, want 1", r)
+	}
+}
+
+func TestSpearmanUncorrelatedHeavyTail(t *testing.T) {
+	rng := NewRNG(12)
+	p := Pareto{Min: 1, Alpha: 0.8} // infinite-variance tail
+	xs, ys := make([]float64, 5000), make([]float64, 5000)
+	for i := range xs {
+		xs[i] = p.Sample(rng)
+		ys[i] = p.Sample(rng)
+	}
+	if r := SpearmanRank(xs, ys); math.Abs(r) > 0.05 {
+		t.Errorf("Spearman of independent heavy tails = %v, want ~0", r)
+	}
+}
+
+func TestBucketize(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ys := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+	centers, means := Bucketize(xs, ys, 5)
+	if len(centers) != 5 {
+		t.Fatalf("got %d buckets, want 5", len(centers))
+	}
+	for i := 1; i < len(means); i++ {
+		if means[i] <= means[i-1] {
+			t.Errorf("bucket means not increasing: %v", means)
+		}
+	}
+}
+
+func TestBucketizeEdgeCases(t *testing.T) {
+	if c, _ := Bucketize(nil, nil, 5); c != nil {
+		t.Error("nil input should return nil")
+	}
+	c, m := Bucketize([]float64{3, 3, 3}, []float64{1, 2, 3}, 4)
+	if len(c) != 1 || c[0] != 3 || math.Abs(m[0]-2) > 1e-9 {
+		t.Errorf("constant-x bucketize = %v %v", c, m)
+	}
+}
+
+func TestReservoirExactUnderCapacity(t *testing.T) {
+	r := NewReservoir(100, NewRNG(13))
+	for i := 0; i < 50; i++ {
+		r.Add(float64(i))
+	}
+	if r.Seen() != 50 || len(r.Values()) != 50 {
+		t.Fatalf("seen=%d len=%d", r.Seen(), len(r.Values()))
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Each of the first 1000 values should survive with p = cap/1000.
+	const trials = 300
+	const capN = 50
+	const stream = 1000
+	hitsFirst := 0
+	for trial := 0; trial < trials; trial++ {
+		r := NewReservoir(capN, NewRNG(uint64(trial)))
+		for i := 0; i < stream; i++ {
+			r.Add(float64(i))
+		}
+		for _, v := range r.Values() {
+			if v == 0 {
+				hitsFirst++
+			}
+		}
+	}
+	got := float64(hitsFirst) / trials
+	want := float64(capN) / stream
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("retention of first element = %v, want ~%v", got, want)
+	}
+}
+
+func TestItemReservoir(t *testing.T) {
+	type trace struct{ id int }
+	r := NewItemReservoir[trace](10, NewRNG(14))
+	for i := 0; i < 1000; i++ {
+		r.Add(trace{id: i})
+	}
+	if len(r.Items()) != 10 {
+		t.Fatalf("len = %d", len(r.Items()))
+	}
+	if r.Seen() != 1000 {
+		t.Fatalf("seen = %d", r.Seen())
+	}
+}
+
+func TestReservoirSampleConversion(t *testing.T) {
+	r := NewReservoir(10, NewRNG(15))
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i))
+	}
+	s := r.Sample()
+	if s.Len() != 5 {
+		t.Fatalf("sample len = %d", s.Len())
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Errorf("max = %v", got)
+	}
+}

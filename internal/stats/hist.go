@@ -1,0 +1,398 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Hist is a log-bucketed histogram for positive values spanning many orders
+// of magnitude (nanosecond latencies through multi-second tails, or byte
+// sizes from 64 B through hundreds of MB). Bucket boundaries grow
+// geometrically by Growth per bucket, giving a bounded relative error on
+// quantile estimates of roughly (Growth-1)/2.
+//
+// Hist is the distribution value type stored in Monarch time-series points
+// and is the working representation for every per-method analysis. The
+// zero value is not usable; construct with NewHist or NewLatencyHist.
+type Hist struct {
+	min    float64 // lower bound of bucket 0
+	growth float64 // geometric bucket growth factor
+	logG   float64 // cached log(growth)
+
+	counts  []uint64 // counts[i] covers [min*growth^i, min*growth^(i+1))
+	under   uint64   // values below min
+	total   uint64
+	sum     float64
+	sumSq   float64
+	maxSeen float64
+	minSeen float64
+}
+
+// DefaultGrowth gives ~2.5% relative quantile error, which is far below the
+// run-to-run variance of any latency distribution we model.
+const DefaultGrowth = 1.05
+
+// NewHist returns a histogram whose first bucket starts at min and whose
+// buckets grow by the given factor. min must be positive and growth > 1.
+func NewHist(min, growth float64) *Hist {
+	if min <= 0 || growth <= 1 {
+		panic(fmt.Sprintf("stats: invalid histogram shape min=%v growth=%v", min, growth))
+	}
+	return &Hist{min: min, growth: growth, logG: math.Log(growth), minSeen: math.Inf(1)}
+}
+
+// NewLatencyHist returns a histogram tuned for latencies expressed in
+// nanoseconds: first bucket at 100 ns, default growth.
+func NewLatencyHist() *Hist { return NewHist(100, DefaultGrowth) }
+
+// NewSizeHist returns a histogram tuned for message sizes in bytes: first
+// bucket at 1 B, default growth.
+func NewSizeHist() *Hist { return NewHist(1, DefaultGrowth) }
+
+// bucket returns the bucket index for v (which must be >= h.min).
+func (h *Hist) bucket(v float64) int {
+	return int(math.Log(v/h.min) / h.logG)
+}
+
+// Add records one observation. Non-positive and NaN values are recorded in
+// the underflow bucket so totals still reconcile.
+func (h *Hist) Add(v float64) { h.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (h *Hist) AddN(v float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.total += n
+	if !(v > 0) || math.IsNaN(v) { // catches v <= 0 and NaN
+		h.under += n
+		return
+	}
+	h.sum += v * float64(n)
+	h.sumSq += v * v * float64(n)
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	if v < h.minSeen {
+		h.minSeen = v
+	}
+	if v < h.min {
+		h.under += n
+		return
+	}
+	b := h.bucket(v)
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b] += n
+}
+
+// Merge adds all observations recorded in other into h. The histograms must
+// have identical shape (min and growth).
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if h.min != other.min || h.growth != other.growth {
+		panic("stats: merging histograms with different shapes")
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.under += other.under
+	h.total += other.total
+	h.sum += other.sum
+	h.sumSq += other.sumSq
+	if other.maxSeen > h.maxSeen {
+		h.maxSeen = other.maxSeen
+	}
+	if other.minSeen < h.minSeen {
+		h.minSeen = other.minSeen
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Hist) Count() uint64 { return h.total }
+
+// Sum returns the sum of all positive observations.
+func (h *Hist) Sum() float64 { return h.sum }
+
+// Mean returns the arithmetic mean of positive observations, or 0 when
+// there are none.
+func (h *Hist) Mean() float64 {
+	n := h.total - h.under
+	if n == 0 {
+		return 0
+	}
+	return h.sum / float64(n)
+}
+
+// Stddev returns the (population) standard deviation of positive
+// observations.
+func (h *Hist) Stddev() float64 {
+	n := float64(h.total - h.under)
+	if n < 1 {
+		return 0
+	}
+	m := h.sum / n
+	v := h.sumSq/n - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Max returns the largest observation seen (exact, not bucketed).
+func (h *Hist) Max() float64 { return h.maxSeen }
+
+// Min returns the smallest positive observation seen, or +Inf when empty.
+func (h *Hist) Min() float64 { return h.minSeen }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1) using
+// within-bucket geometric interpolation. Underflow observations are treated
+// as h.min. Returns 0 for an empty histogram.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank in [1, total].
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= h.under {
+		return math.Min(h.min, h.minSeen)
+	}
+	seen := h.under
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			lo := h.min * math.Pow(h.growth, float64(i))
+			hi := lo * h.growth
+			// Interpolate geometrically within the bucket.
+			frac := float64(rank-seen) / float64(c)
+			est := lo * math.Pow(hi/lo, frac)
+			// Clamp to the exact observed extrema for tighter tails.
+			if est > h.maxSeen {
+				est = h.maxSeen
+			}
+			if est < h.minSeen {
+				est = h.minSeen
+			}
+			return est
+		}
+		seen += c
+	}
+	return h.maxSeen
+}
+
+// Percentile is Quantile with p expressed in percent (P50 => 50).
+func (h *Hist) Percentile(p float64) float64 { return h.Quantile(p / 100) }
+
+// CountAbove returns how many observations fall in buckets whose lower
+// bound is >= v (approximate to bucket resolution).
+func (h *Hist) CountAbove(v float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v <= h.min {
+		return h.total - h.under
+	}
+	b := h.bucket(v)
+	var n uint64
+	for i := b; i < len(h.counts); i++ {
+		n += h.counts[i]
+	}
+	return n
+}
+
+// Fraction returns the fraction of observations at or below v.
+func (h *Hist) Fraction(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	above := h.CountAbove(v)
+	return 1 - float64(above)/float64(h.total)
+}
+
+// Buckets calls fn for every non-empty bucket with its bounds and count,
+// in increasing value order. Used by renderers and by Monarch encoding.
+func (h *Hist) Buckets(fn func(lo, hi float64, count uint64)) {
+	if h.under > 0 {
+		fn(0, h.min, h.under)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo := h.min * math.Pow(h.growth, float64(i))
+		fn(lo, lo*h.growth, c)
+	}
+}
+
+// Clone returns a deep copy of h.
+func (h *Hist) Clone() *Hist {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// Reset removes all observations, keeping the bucket shape.
+func (h *Hist) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.counts = h.counts[:0]
+	h.under, h.total = 0, 0
+	h.sum, h.sumSq = 0, 0
+	h.maxSeen, h.minSeen = 0, math.Inf(1)
+}
+
+// Summary holds the standard percentile summary reported for each method
+// in the paper's per-method figures.
+type Summary struct {
+	Count             uint64
+	Mean              float64
+	P1, P10, P25, P50 float64
+	P75, P90, P95     float64
+	P99, P999         float64
+	Max               float64
+}
+
+// Summarize computes the standard percentile summary.
+func (h *Hist) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P1:    h.Percentile(1),
+		P10:   h.Percentile(10),
+		P25:   h.Percentile(25),
+		P50:   h.Percentile(50),
+		P75:   h.Percentile(75),
+		P90:   h.Percentile(90),
+		P95:   h.Percentile(95),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
+}
+
+// QuantileOf returns the empirical quantile of v: the fraction of samples
+// strictly below v's bucket plus half of v's own bucket. Useful for
+// locating a value inside a distribution (e.g., tail classification).
+func (h *Hist) QuantileOf(v float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if !(v > 0) || v < h.min {
+		return float64(h.under) / (2 * float64(h.total))
+	}
+	b := h.bucket(v)
+	seen := h.under
+	for i, c := range h.counts {
+		if i >= b {
+			if i == b {
+				seen += c / 2
+			}
+			break
+		}
+		seen += c
+	}
+	return float64(seen) / float64(h.total)
+}
+
+// Sample holds raw observations and computes exact quantiles. It is used
+// where the paper needs exact per-trace statistics (what-if analysis,
+// small per-service breakdowns) rather than bucketed aggregates.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// NewSample returns an empty sample set with the given capacity hint.
+func NewSample(capacity int) *Sample {
+	return &Sample{vals: make([]float64, 0, capacity)}
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.vals) }
+
+// Values returns the underlying observations in insertion order when the
+// sample has never been sorted, or in ascending order afterwards. Callers
+// must not modify the returned slice.
+func (s *Sample) Values() []float64 { return s.vals }
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the exact q-quantile using linear interpolation between
+// order statistics. Returns 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	s.sort()
+	if q <= 0 {
+		return s.vals[0]
+	}
+	if q >= 1 {
+		return s.vals[len(s.vals)-1]
+	}
+	pos := q * float64(len(s.vals)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s.vals) {
+		return s.vals[len(s.vals)-1]
+	}
+	return s.vals[i]*(1-frac) + s.vals[i+1]*frac
+}
+
+// Percentile is Quantile with p in percent.
+func (s *Sample) Percentile(p float64) float64 { return s.Quantile(p / 100) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Sum returns the total of all observations.
+func (s *Sample) Sum() float64 {
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum
+}

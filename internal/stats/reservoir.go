@@ -1,0 +1,86 @@
+package stats
+
+// Reservoir keeps a uniform random sample of a stream of float64 values
+// using Vitter's Algorithm R. Dapper-style tracing cannot retain every
+// span, so per-method analyses that need raw values (exact quantiles,
+// correlation) sample with a reservoir, exactly as the paper's tracing
+// service samples full RPC trees.
+type Reservoir struct {
+	cap  int
+	seen uint64
+	vals []float64
+	rng  *RNG
+}
+
+// NewReservoir returns a reservoir holding at most capacity values.
+func NewReservoir(capacity int, rng *RNG) *Reservoir {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &Reservoir{cap: capacity, vals: make([]float64, 0, capacity), rng: rng}
+}
+
+// Add offers one value to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	r.seen++
+	if len(r.vals) < r.cap {
+		r.vals = append(r.vals, v)
+		return
+	}
+	j := r.rng.Uint64() % r.seen
+	if j < uint64(r.cap) {
+		r.vals[j] = v
+	}
+}
+
+// Seen returns how many values were offered in total.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Values returns the retained sample. Callers must not modify it.
+func (r *Reservoir) Values() []float64 { return r.vals }
+
+// Sample converts the reservoir contents into a Sample for exact-quantile
+// queries.
+func (r *Reservoir) Sample() *Sample {
+	s := NewSample(len(r.vals))
+	for _, v := range r.vals {
+		s.Add(v)
+	}
+	return s
+}
+
+// ItemReservoir is a generic uniform reservoir over arbitrary items, used
+// to retain whole trace trees rather than scalar values.
+type ItemReservoir[T any] struct {
+	cap   int
+	seen  uint64
+	items []T
+	rng   *RNG
+}
+
+// NewItemReservoir returns a reservoir holding at most capacity items.
+func NewItemReservoir[T any](capacity int, rng *RNG) *ItemReservoir[T] {
+	if capacity <= 0 {
+		panic("stats: reservoir capacity must be positive")
+	}
+	return &ItemReservoir[T]{cap: capacity, items: make([]T, 0, capacity), rng: rng}
+}
+
+// Add offers one item.
+func (r *ItemReservoir[T]) Add(item T) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, item)
+		return
+	}
+	j := r.rng.Uint64() % r.seen
+	if j < uint64(r.cap) {
+		r.items[j] = item
+	}
+}
+
+// Seen returns how many items were offered.
+func (r *ItemReservoir[T]) Seen() uint64 { return r.seen }
+
+// Items returns the retained items. Callers must not modify the slice.
+func (r *ItemReservoir[T]) Items() []T { return r.items }

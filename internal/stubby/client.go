@@ -1,0 +1,469 @@
+package stubby
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rpcscale/internal/compressor"
+	"rpcscale/internal/trace"
+	"rpcscale/internal/wire"
+)
+
+// Channel is a client connection to one server: it owns a send queue
+// drained by a sender goroutine (ClientSendQueue), a reader goroutine
+// that dispatches responses to waiting calls (ClientRecvQueue), and the
+// per-call instrumentation that assembles the nine-component breakdown.
+type Channel struct {
+	opts          Options
+	serverCluster string
+	tr            *transport
+	comp          *compressor.Compressor
+
+	sendQ      chan *clientCall
+	nextStream atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]*clientCall
+	streams map[uint64]*ServerStream
+
+	pingMu   sync.Mutex
+	pingCh   chan time.Time
+	lastPing time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	err       atomic.Pointer[channelError] // error that killed the channel
+	loops     sync.WaitGroup
+}
+
+// clientCall tracks one in-flight RPC.
+type clientCall struct {
+	req      *request
+	streamID uint64
+	payload  []byte // uncompressed request payload (for size accounting)
+	enqueued time.Time
+	// deqAt and sentAt are written by the sender goroutine while the
+	// calling goroutine may be timing out concurrently, so they are
+	// published atomically.
+	deqAt    atomic.Pointer[time.Time] // sender dequeued (end of ClientSendQueue)
+	sentAt   atomic.Pointer[time.Time] // frame written (end of ReqProcStack)
+	resultCh chan *callResult
+}
+
+// channelError boxes the error that killed a channel so it can live in an
+// atomic.Pointer regardless of its dynamic type.
+type channelError struct{ err error }
+
+// callResult is what the reader delivers to a waiting call.
+type callResult struct {
+	resp   *response
+	rxAt   time.Time // response frame fully read + decoded
+	netErr error
+}
+
+// Dial connects to addr over TCP and returns a channel. serverCluster
+// labels spans with the callee's placement (a real stack learns it from
+// the handshake).
+func Dial(addr, serverCluster string, opts Options) (*Channel, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewChannel(conn, serverCluster, opts)
+}
+
+// NewChannel builds a channel over an existing connection (e.g. net.Pipe
+// in tests).
+func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, error) {
+	o := opts.withDefaults()
+	tr, err := newTransport(conn, o.Secret, "c2s", "s2c", o.EncryptionStats)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c := &Channel{
+		opts:          o,
+		serverCluster: serverCluster,
+		tr:            tr,
+		comp:          compressor.New(o.Compression, o.CompressorStats),
+		sendQ:         make(chan *clientCall, o.SendQueueLen),
+		pending:       make(map[uint64]*clientCall),
+		closed:        make(chan struct{}),
+	}
+	c.loops.Add(2)
+	go c.sendLoop()
+	go c.readLoop()
+	return c, nil
+}
+
+// Call issues a unary RPC and blocks for the response, the context's
+// cancellation, or the deadline.
+func (c *Channel) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	return c.call(ctx, method, payload, false)
+}
+
+func (c *Channel) call(ctx context.Context, method string, payload []byte, hedged bool) ([]byte, error) {
+	// Resolve tracing state: child span of the caller, or a new root.
+	parent, ok := TraceFromContext(ctx)
+	tc := TraceContext{SpanID: nextSpanID()}
+	var parentSpan trace.SpanID
+	if ok {
+		tc.TraceID = parent.TraceID
+		parentSpan = parent.SpanID
+	} else {
+		tc.TraceID = nextTraceID()
+	}
+
+	deadline := c.opts.DefaultDeadline
+	if dl, has := ctx.Deadline(); has {
+		deadline = time.Until(dl)
+	}
+	if deadline <= 0 {
+		return nil, c.finish(nil, method, tc, parentSpan, payload, nil, trace.DeadlineExceeded, hedged)
+	}
+
+	call := &clientCall{
+		req: &request{
+			Method:     method,
+			TraceID:    tc.TraceID,
+			SpanID:     tc.SpanID,
+			ParentSpan: parentSpan,
+			Deadline:   deadline,
+			Payload:    payload,
+			Hedged:     hedged,
+		},
+		payload:  payload,
+		enqueued: time.Now(),
+		resultCh: make(chan *callResult, 1),
+	}
+	streamID := c.nextStream.Add(1)
+	call.streamID = streamID
+
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		return nil, c.finish(nil, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
+	default:
+	}
+	c.pending[streamID] = call
+	c.mu.Unlock()
+
+	// Enqueue onto the send queue; a full queue is back-pressure, so we
+	// block until space, cancellation, or channel death.
+	select {
+	case c.sendQ <- call:
+	case <-ctx.Done():
+		c.abandon(streamID)
+		return nil, c.finish(call, method, tc, parentSpan, payload, nil, cancelCode(ctx), hedged)
+	case <-c.closed:
+		c.abandon(streamID)
+		return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
+	}
+
+	select {
+	case res := <-call.resultCh:
+		rcvd := time.Now()
+		if res.netErr != nil {
+			return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
+		}
+		resp := res.resp
+		out := resp.Payload
+		if resp.Compressed {
+			var derr error
+			out, derr = c.comp.Decompress(out)
+			if derr != nil {
+				return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Internal, hedged)
+			}
+		}
+		span := c.buildSpan(call, method, tc, parentSpan, payload, out, resp, res.rxAt, rcvd, hedged)
+		c.emit(span)
+		if resp.Code != trace.OK {
+			return nil, &Status{Code: resp.Code, Message: resp.Message}
+		}
+		return out, nil
+	case <-ctx.Done():
+		c.abandon(streamID)
+		_ = c.tr.send(wire.FrameCancel, streamID, nil)
+		return nil, c.finish(call, method, tc, parentSpan, payload, nil, cancelCode(ctx), hedged)
+	case <-c.closed:
+		c.abandon(streamID)
+		return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
+	}
+}
+
+func cancelCode(ctx context.Context) trace.ErrorCode {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return trace.DeadlineExceeded
+	}
+	return trace.Cancelled
+}
+
+// abandon removes a pending call so a late response is dropped.
+func (c *Channel) abandon(streamID uint64) {
+	c.mu.Lock()
+	delete(c.pending, streamID)
+	c.mu.Unlock()
+}
+
+// finish emits an error span and returns the matching error.
+func (c *Channel) finish(call *clientCall, method string, tc TraceContext, parentSpan trace.SpanID, reqPayload, respPayload []byte, code trace.ErrorCode, hedged bool) error {
+	span := &trace.Span{
+		TraceID:       tc.TraceID,
+		SpanID:        tc.SpanID,
+		ParentID:      parentSpan,
+		Method:        method,
+		Service:       ServiceOf(method),
+		ClientCluster: c.opts.ClusterName,
+		ServerCluster: c.serverCluster,
+		RequestBytes:  int64(len(reqPayload)),
+		ResponseBytes: int64(len(respPayload)),
+		Err:           code,
+		Hedged:        hedged,
+	}
+	if call != nil {
+		if deq := call.deqAt.Load(); deq != nil {
+			span.Breakdown[trace.ClientSendQueue] = deq.Sub(call.enqueued)
+			if sent := call.sentAt.Load(); sent != nil {
+				span.Breakdown[trace.ReqProcStack] = sent.Sub(*deq)
+			}
+		}
+	}
+	c.emit(span)
+	switch code {
+	case trace.OK:
+		return nil
+	case trace.Cancelled:
+		return ErrCancelled
+	case trace.DeadlineExceeded:
+		return ErrDeadlineExceeded
+	case trace.Unavailable:
+		if ce := c.err.Load(); ce != nil && ce.err != nil {
+			return &Status{Code: trace.Unavailable, Message: ce.err.Error()}
+		}
+		return ErrUnavailable
+	default:
+		return &Status{Code: code, Message: code.String()}
+	}
+}
+
+// buildSpan assembles the full nine-component breakdown from client
+// timestamps and the server-reported timings.
+func (c *Channel) buildSpan(call *clientCall, method string, tc TraceContext, parentSpan trace.SpanID, reqPayload, respPayload []byte, resp *response, rxAt, rcvd time.Time, hedged bool) *trace.Span {
+	var b trace.Breakdown
+	deq, sent := call.deqAt.Load(), call.sentAt.Load()
+	if deq != nil {
+		b[trace.ClientSendQueue] = deq.Sub(call.enqueued)
+		if sent != nil {
+			b[trace.ReqProcStack] = sent.Sub(*deq)
+		}
+	}
+	b[trace.ServerRecvQueue] = resp.Timings.RecvQueue
+	b[trace.ServerApp] = resp.Timings.App
+	b[trace.ServerSendQueue] = resp.Timings.SendQueue
+	b[trace.RespProcStack] = resp.Timings.RespProc
+	b[trace.ClientRecvQueue] = rcvd.Sub(rxAt)
+
+	// Wire time is everything between the request leaving the client and
+	// the response arriving, minus the server's residence time. Split it
+	// between the directions in proportion to bytes moved.
+	var wireTotal time.Duration
+	if sent != nil {
+		wireTotal = rxAt.Sub(*sent) - resp.Timings.Elapsed
+	}
+	if wireTotal < 0 {
+		wireTotal = 0
+	}
+	reqB, respB := float64(len(reqPayload)+64), float64(len(respPayload)+64)
+	reqFrac := reqB / (reqB + respB)
+	b[trace.ReqNetworkWire] = time.Duration(float64(wireTotal) * reqFrac)
+	b[trace.RespNetworkWire] = wireTotal - b[trace.ReqNetworkWire]
+
+	return &trace.Span{
+		TraceID:       tc.TraceID,
+		SpanID:        tc.SpanID,
+		ParentID:      parentSpan,
+		Method:        method,
+		Service:       ServiceOf(method),
+		ClientCluster: c.opts.ClusterName,
+		ServerCluster: c.serverCluster,
+		Breakdown:     b,
+		RequestBytes:  int64(len(reqPayload)),
+		ResponseBytes: int64(len(respPayload)),
+		Err:           resp.Code,
+		Hedged:        hedged,
+	}
+}
+
+func (c *Channel) emit(span *trace.Span) error {
+	if c.opts.Collector != nil {
+		c.opts.Collector.Collect(span)
+	}
+	return nil
+}
+
+// ServiceOf extracts the service name from a fully qualified method
+// ("service.Type/Method" -> "service").
+func ServiceOf(method string) string {
+	if i := strings.IndexAny(method, "./"); i > 0 {
+		return method[:i]
+	}
+	return method
+}
+
+// sendLoop drains the send queue: compression, marshalling, encryption,
+// and the write — the client side of ReqProcStack.
+func (c *Channel) sendLoop() {
+	defer c.loops.Done()
+	for {
+		select {
+		case call := <-c.sendQ:
+			now := time.Now()
+			call.deqAt.Store(&now)
+			req := call.req
+			if c.opts.Compression != compressor.None && len(req.Payload) >= c.opts.CompressThreshold {
+				if compressed, err := c.comp.Compress(req.Payload); err == nil && len(compressed) < len(req.Payload) {
+					req.Payload = compressed
+					req.Compressed = true
+				}
+			}
+			buf, err := req.marshal()
+			if err != nil {
+				c.failCall(call, err)
+				continue
+			}
+			c.mu.Lock()
+			_, live := c.pending[call.streamID]
+			c.mu.Unlock()
+			if !live {
+				continue // call abandoned before send
+			}
+			if err := c.tr.send(wire.FrameRequest, call.streamID, buf); err != nil {
+				c.failCall(call, err)
+				continue
+			}
+			sent := time.Now()
+			call.sentAt.Store(&sent)
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func (c *Channel) failCall(call *clientCall, err error) {
+	select {
+	case call.resultCh <- &callResult{netErr: err}:
+	default:
+	}
+}
+
+// readLoop dispatches incoming frames to waiting calls.
+func (c *Channel) readLoop() {
+	defer c.loops.Done()
+	for {
+		f, plain, err := c.tr.recv()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch f.Type {
+		case wire.FrameResponse:
+			rxStart := time.Now()
+			resp, perr := parseResponse(plain)
+			if st := c.lookupStream(f.StreamID); st != nil {
+				if perr != nil {
+					st.fail(perr)
+					c.dropStream(f.StreamID)
+					continue
+				}
+				st.deliver(resp)
+				continue
+			}
+			c.mu.Lock()
+			call := c.pending[f.StreamID]
+			delete(c.pending, f.StreamID)
+			c.mu.Unlock()
+			if call == nil {
+				continue // cancelled or duplicate
+			}
+			if perr != nil {
+				c.failCall(call, perr)
+				continue
+			}
+			call.resultCh <- &callResult{resp: resp, rxAt: rxStart}
+		case wire.FramePong:
+			c.pingMu.Lock()
+			ch := c.pingCh
+			c.pingCh = nil
+			c.pingMu.Unlock()
+			if ch != nil {
+				ch <- time.Now()
+			}
+		case wire.FrameGoAway:
+			c.fail(ErrUnavailable)
+			return
+		}
+	}
+}
+
+// Ping measures transport round-trip time, including encryption but not
+// queuing or handlers.
+func (c *Channel) Ping(ctx context.Context) (time.Duration, error) {
+	ch := make(chan time.Time, 1)
+	c.pingMu.Lock()
+	if c.pingCh != nil {
+		c.pingMu.Unlock()
+		return 0, Errorf(trace.NoResource, "ping already in flight")
+	}
+	c.pingCh = ch
+	c.pingMu.Unlock()
+	start := time.Now()
+	if err := c.tr.send(wire.FramePing, 0, nil); err != nil {
+		c.pingMu.Lock()
+		c.pingCh = nil
+		c.pingMu.Unlock()
+		return 0, err
+	}
+	select {
+	case end := <-ch:
+		return end.Sub(start), nil
+	case <-ctx.Done():
+		c.pingMu.Lock()
+		c.pingCh = nil
+		c.pingMu.Unlock()
+		return 0, ctx.Err()
+	case <-c.closed:
+		return 0, ErrUnavailable
+	}
+}
+
+// fail kills the channel: all pending and future calls error out.
+func (c *Channel) fail(err error) {
+	c.err.Store(&channelError{err: err})
+	c.closeOnce.Do(func() { close(c.closed) })
+	c.mu.Lock()
+	pending := c.pending
+	c.pending = make(map[uint64]*clientCall)
+	streams := c.streams
+	c.streams = nil
+	c.mu.Unlock()
+	for _, call := range pending {
+		c.failCall(call, err)
+	}
+	for _, st := range streams {
+		st.fail(ErrUnavailable)
+	}
+}
+
+// Close shuts the channel down. Pending calls fail with Unavailable.
+func (c *Channel) Close() error {
+	c.fail(ErrUnavailable)
+	err := c.tr.close()
+	c.loops.Wait()
+	return err
+}

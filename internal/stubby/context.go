@@ -1,0 +1,51 @@
+package stubby
+
+import (
+	"context"
+	"sync/atomic"
+
+	"rpcscale/internal/trace"
+)
+
+// TraceContext is the tracing state propagated along a call chain: the
+// tree-wide trace ID and the span ID of the current RPC. Server handlers
+// receive it in their context; client calls read it to link child spans to
+// their parent, which is how Dapper reconstructs nested call trees.
+type TraceContext struct {
+	TraceID trace.TraceID
+	SpanID  trace.SpanID
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches tracing state to a context.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext extracts tracing state, reporting whether any exists.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// Process-wide ID allocation. Span IDs are sequential; trace IDs are the
+// mixed output of a counter so that modulo-based head sampling sees a
+// uniform stream.
+var (
+	spanCounter  atomic.Uint64
+	traceCounter atomic.Uint64
+)
+
+// nextSpanID allocates a unique span ID (never 0: 0 means "no parent").
+func nextSpanID() trace.SpanID { return trace.SpanID(spanCounter.Add(1)) }
+
+// nextTraceID allocates a well-mixed unique trace ID.
+func nextTraceID() trace.TraceID {
+	x := traceCounter.Add(1)
+	// SplitMix64 finalizer for dispersion.
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return trace.TraceID(x ^ (x >> 31))
+}

@@ -1,0 +1,71 @@
+package stubby
+
+import (
+	"time"
+
+	"rpcscale/internal/compressor"
+	"rpcscale/internal/secure"
+	"rpcscale/internal/trace"
+)
+
+// Options configures a Channel or Server. The zero value is usable; New*
+// functions fill in defaults.
+type Options struct {
+	// Secret is the pre-shared transport secret. Both ends of a
+	// connection must agree. Defaults to a process-wide development
+	// secret; production would use a real handshake.
+	Secret []byte
+
+	// Compression selects payload compression. Payloads below
+	// CompressThreshold bytes are sent uncompressed regardless, since
+	// small RPCs (the fleet's majority) lose more cycles than bytes.
+	Compression       compressor.Algorithm
+	CompressThreshold int
+	CompressorStats   *compressor.Stats
+	EncryptionStats   *secure.Stats
+
+	// Collector receives a trace.Span for every completed call (client
+	// side) and every served request (server side). Nil disables tracing.
+	Collector *trace.Collector
+
+	// ClusterName labels spans with the placement of this endpoint.
+	ClusterName string
+
+	// SendQueueLen and RecvQueueLen bound the client send queue and the
+	// server receive queue. Queue depth is where the paper's queuing
+	// latency lives; undersized queues convert queuing into NoResource
+	// errors, as in production overload.
+	SendQueueLen int
+	RecvQueueLen int
+
+	// Workers is the server handler pool size.
+	Workers int
+
+	// DefaultDeadline applies to calls whose context has none.
+	DefaultDeadline time.Duration
+}
+
+var defaultSecret = []byte("rpcscale-development-psk")
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Secret == nil {
+		out.Secret = defaultSecret
+	}
+	if out.CompressThreshold == 0 {
+		out.CompressThreshold = 512
+	}
+	if out.SendQueueLen == 0 {
+		out.SendQueueLen = 1024
+	}
+	if out.RecvQueueLen == 0 {
+		out.RecvQueueLen = 1024
+	}
+	if out.Workers == 0 {
+		out.Workers = 8
+	}
+	if out.DefaultDeadline == 0 {
+		out.DefaultDeadline = 30 * time.Second
+	}
+	return out
+}

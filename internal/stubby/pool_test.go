@@ -1,0 +1,329 @@
+package stubby
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rpcscale/internal/trace"
+)
+
+func TestClientInterceptorOrder(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler})
+	var order []string
+	var mu sync.Mutex
+	mk := func(name string) ClientInterceptor {
+		return func(ctx context.Context, method string, p []byte, next CallFunc) ([]byte, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			return next(ctx, method, p)
+		}
+	}
+	call := ch.Intercepted(mk("outer"), mk("inner"))
+	if _, err := call(context.Background(), "svc/Echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRetryTransientFailure(t *testing.T) {
+	var attempts atomic.Int32
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Flaky": func(ctx context.Context, p []byte) ([]byte, error) {
+			if attempts.Add(1) < 3 {
+				return nil, Errorf(trace.Unavailable, "transient")
+			}
+			return []byte("ok"), nil
+		},
+	})
+	call := ch.Intercepted(WithRetry(DefaultRetryPolicy()))
+	out, err := call(context.Background(), "svc/Flaky", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" || attempts.Load() != 3 {
+		t.Fatalf("out=%q attempts=%d", out, attempts.Load())
+	}
+}
+
+func TestRetryPermanentErrorNotRetried(t *testing.T) {
+	var attempts atomic.Int32
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Denied": func(ctx context.Context, p []byte) ([]byte, error) {
+			attempts.Add(1)
+			return nil, Errorf(trace.NoPermission, "no")
+		},
+	})
+	call := ch.Intercepted(WithRetry(DefaultRetryPolicy()))
+	_, err := call(context.Background(), "svc/Denied", []byte("x"))
+	if Code(err) != trace.NoPermission {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("permanent error retried %d times", attempts.Load())
+	}
+}
+
+func TestRetryExhaustion(t *testing.T) {
+	var attempts atomic.Int32
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Down": func(ctx context.Context, p []byte) ([]byte, error) {
+			attempts.Add(1)
+			return nil, Errorf(trace.Unavailable, "still down")
+		},
+	})
+	policy := RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	call := ch.Intercepted(WithRetry(policy))
+	_, err := call(context.Background(), "svc/Down", []byte("x"))
+	if Code(err) != trace.Unavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if attempts.Load() != 4 {
+		t.Fatalf("attempts = %d, want 4", attempts.Load())
+	}
+}
+
+func TestRetryHonorsContextDuringBackoff(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Down": func(ctx context.Context, p []byte) ([]byte, error) {
+			return nil, Errorf(trace.Unavailable, "down")
+		},
+	})
+	policy := RetryPolicy{MaxAttempts: 10, BaseBackoff: time.Hour}
+	call := ch.Intercepted(WithRetry(policy))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := call(ctx, "svc/Down", []byte("x"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("backoff ignored the context")
+	}
+}
+
+func TestRetryableCodesCustom(t *testing.T) {
+	p := RetryPolicy{RetryableCodes: []trace.ErrorCode{trace.Internal}}
+	if !p.retryable(trace.Internal) || p.retryable(trace.Unavailable) {
+		t.Fatal("custom retryable set not honored")
+	}
+	d := RetryPolicy{}
+	if !d.retryable(trace.Unavailable) || !d.retryable(trace.NoResource) || d.retryable(trace.NoPermission) {
+		t.Fatal("default retryable set wrong")
+	}
+}
+
+func poolSetup(t *testing.T, opts Options, handlers map[string]Handler, size int) (*Pool, *Server) {
+	t.Helper()
+	srv := NewServer(opts)
+	for m, h := range handlers {
+		srv.Register(m, h)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	pool, err := NewPool(l.Addr().String(), "pool-test", size, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		pool.Close()
+		srv.Close()
+	})
+	return pool, srv
+}
+
+func TestPoolBasicCalls(t *testing.T) {
+	pool, _ := poolSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler}, 4)
+	if pool.Size() != 4 {
+		t.Fatalf("size = %d", pool.Size())
+	}
+	for i := 0; i < 20; i++ {
+		out, err := pool.Call(context.Background(), "svc/Echo", []byte("hi"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != "hi" {
+			t.Fatalf("out = %q", out)
+		}
+	}
+}
+
+func TestPoolSurvivesChannelDeath(t *testing.T) {
+	pool, _ := poolSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler}, 3)
+	// Kill one member behind the pool's back.
+	pool.mu.Lock()
+	victim := pool.channels[0]
+	pool.mu.Unlock()
+	victim.Close()
+	// All subsequent calls must still succeed (retry on another member).
+	for i := 0; i < 10; i++ {
+		if _, err := pool.Call(context.Background(), "svc/Echo", []byte("x")); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestPoolHedgedAcrossMembers(t *testing.T) {
+	var n atomic.Int32
+	pool, _ := poolSetup(t, Options{Workers: 8}, map[string]Handler{
+		"svc/Lumpy": func(ctx context.Context, p []byte) ([]byte, error) {
+			if n.Add(1)%2 == 1 {
+				select {
+				case <-time.After(200 * time.Millisecond):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return []byte("ok"), nil
+		},
+	}, 2)
+	start := time.Now()
+	out, err := pool.CallHedged(context.Background(), "svc/Lumpy", []byte("q"), 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" {
+		t.Fatalf("out = %q", out)
+	}
+	if time.Since(start) > 150*time.Millisecond {
+		t.Fatalf("hedge did not rescue the straggler: %v", time.Since(start))
+	}
+}
+
+func TestPoolCallAfterClose(t *testing.T) {
+	pool, _ := poolSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler}, 2)
+	pool.Close()
+	if _, err := pool.Call(context.Background(), "svc/Echo", []byte("x")); Code(err) != trace.Unavailable {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := pool.Ping(context.Background()); Code(err) != trace.Unavailable {
+		t.Fatalf("ping err = %v", err)
+	}
+}
+
+func TestPoolPing(t *testing.T) {
+	pool, _ := poolSetup(t, Options{}, nil, 2)
+	rtt, err := pool.Ping(context.Background())
+	if err != nil || rtt <= 0 {
+		t.Fatalf("rtt=%v err=%v", rtt, err)
+	}
+}
+
+func TestPoolDialFailure(t *testing.T) {
+	if _, err := NewPool("127.0.0.1:1", "x", 2, Options{}); err == nil {
+		t.Fatal("expected dial failure")
+	}
+}
+
+// --- Failure injection on the plain channel ---
+
+func TestServerAbruptCloseFailsPending(t *testing.T) {
+	opts := Options{}
+	srv := NewServer(opts)
+	srv.Register("svc/Hang", func(ctx context.Context, p []byte) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	ch, err := Dial(l.Addr().String(), "x", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ch.Call(context.Background(), "svc/Hang", []byte("x"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	l.Close()
+	srv.Close() // kills connections; client must see Unavailable
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected failure after server close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call hung after server death")
+	}
+}
+
+func TestServerOverloadShedsLoad(t *testing.T) {
+	// One worker, tiny receive queue: a burst must produce NoResource
+	// rejections (the §4.4 "no resource" class), not deadlock.
+	release := make(chan struct{})
+	opts := Options{Workers: 1, RecvQueueLen: 1, SendQueueLen: 64}
+	srv := NewServer(opts)
+	srv.Register("svc/Slow", func(ctx context.Context, p []byte) ([]byte, error) {
+		<-release
+		return p, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	ch, err := Dial(l.Addr().String(), "x", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+
+	const burst = 16
+	errs := make(chan error, burst)
+	for i := 0; i < burst; i++ {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, err := ch.Call(ctx, "svc/Slow", []byte("x"))
+			errs <- err
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	shed := 0
+	for i := 0; i < burst; i++ {
+		if err := <-errs; err != nil && Code(err) == trace.NoResource {
+			shed++
+		}
+	}
+	if shed == 0 {
+		t.Fatal("overload produced no NoResource rejections")
+	}
+}
+
+func TestConcurrentCloseRace(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_, _ = ch.Call(ctx, "svc/Echo", []byte("x"))
+		}()
+	}
+	wg.Add(2)
+	go func() { defer wg.Done(); ch.Close() }()
+	go func() { defer wg.Done(); ch.Close() }()
+	wg.Wait() // must not panic or deadlock
+}

@@ -1,0 +1,179 @@
+package stubby
+
+import (
+	"fmt"
+	"time"
+
+	"rpcscale/internal/codec"
+	"rpcscale/internal/trace"
+)
+
+// Wire message descriptors for the RPC protocol itself. These are the
+// stack's own "protos": the request and response envelopes that carry
+// user payloads plus tracing and instrumentation metadata.
+
+// Request envelope field numbers.
+const (
+	reqMethod     = 1
+	reqTraceID    = 2
+	reqSpanID     = 3
+	reqParentSpan = 4
+	reqDeadlineNs = 5
+	reqPayload    = 6
+	reqCompressed = 7
+	reqHedged     = 8
+)
+
+// Response envelope field numbers.
+const (
+	respCode        = 1
+	respMessage     = 2
+	respPayload     = 3
+	respCompressed  = 4
+	respRecvQueueNs = 5
+	respAppNs       = 6
+	respSendQueueNs = 7
+	respProcNs      = 8
+	respElapsedNs   = 9
+	respMore        = 10
+)
+
+var requestDesc = codec.MustDescriptor("stubby.Request",
+	codec.Field{Number: reqMethod, Name: "method", Type: codec.TypeString},
+	codec.Field{Number: reqTraceID, Name: "trace_id", Type: codec.TypeUint64},
+	codec.Field{Number: reqSpanID, Name: "span_id", Type: codec.TypeUint64},
+	codec.Field{Number: reqParentSpan, Name: "parent_span_id", Type: codec.TypeUint64},
+	codec.Field{Number: reqDeadlineNs, Name: "deadline_ns", Type: codec.TypeUint64},
+	codec.Field{Number: reqPayload, Name: "payload", Type: codec.TypeBytes},
+	codec.Field{Number: reqCompressed, Name: "compressed", Type: codec.TypeBool},
+	codec.Field{Number: reqHedged, Name: "hedged", Type: codec.TypeBool},
+)
+
+var responseDesc = codec.MustDescriptor("stubby.Response",
+	codec.Field{Number: respCode, Name: "code", Type: codec.TypeUint64},
+	codec.Field{Number: respMessage, Name: "message", Type: codec.TypeString},
+	codec.Field{Number: respPayload, Name: "payload", Type: codec.TypeBytes},
+	codec.Field{Number: respCompressed, Name: "compressed", Type: codec.TypeBool},
+	codec.Field{Number: respRecvQueueNs, Name: "recv_queue_ns", Type: codec.TypeUint64},
+	codec.Field{Number: respAppNs, Name: "app_ns", Type: codec.TypeUint64},
+	codec.Field{Number: respSendQueueNs, Name: "send_queue_ns", Type: codec.TypeUint64},
+	codec.Field{Number: respProcNs, Name: "resp_proc_ns", Type: codec.TypeUint64},
+	codec.Field{Number: respElapsedNs, Name: "server_elapsed_ns", Type: codec.TypeUint64},
+	codec.Field{Number: respMore, Name: "more", Type: codec.TypeBool},
+)
+
+// request is the decoded request envelope.
+type request struct {
+	Method     string
+	TraceID    trace.TraceID
+	SpanID     trace.SpanID
+	ParentSpan trace.SpanID
+	Deadline   time.Duration // 0 = none; nanoseconds relative to epoch
+	Payload    []byte
+	Compressed bool
+	Hedged     bool
+}
+
+func (r *request) marshal() ([]byte, error) {
+	m := codec.NewMessage(requestDesc).
+		Set(reqMethod, r.Method).
+		Set(reqTraceID, uint64(r.TraceID)).
+		Set(reqSpanID, uint64(r.SpanID)).
+		Set(reqPayload, r.Payload)
+	if r.ParentSpan != 0 {
+		m.Set(reqParentSpan, uint64(r.ParentSpan))
+	}
+	if r.Deadline > 0 {
+		m.Set(reqDeadlineNs, uint64(r.Deadline))
+	}
+	if r.Compressed {
+		m.Set(reqCompressed, true)
+	}
+	if r.Hedged {
+		m.Set(reqHedged, true)
+	}
+	return codec.Marshal(m)
+}
+
+func parseRequest(buf []byte) (*request, error) {
+	m, err := codec.Unmarshal(requestDesc, buf)
+	if err != nil {
+		return nil, fmt.Errorf("stubby: parsing request: %w", err)
+	}
+	return &request{
+		Method:     m.GetString(reqMethod),
+		TraceID:    trace.TraceID(m.GetUint64(reqTraceID)),
+		SpanID:     trace.SpanID(m.GetUint64(reqSpanID)),
+		ParentSpan: trace.SpanID(m.GetUint64(reqParentSpan)),
+		Deadline:   time.Duration(m.GetUint64(reqDeadlineNs)),
+		Payload:    m.GetBytes(reqPayload),
+		Compressed: m.GetBool(reqCompressed),
+		Hedged:     m.GetBool(reqHedged),
+	}, nil
+}
+
+// serverTimings carries the server-measured latency components back to the
+// client inside the response envelope, so the client can assemble the full
+// nine-component breakdown.
+type serverTimings struct {
+	RecvQueue time.Duration // ServerRecvQueue (incl. decode)
+	App       time.Duration // ServerApp
+	SendQueue time.Duration // ServerSendQueue
+	RespProc  time.Duration // RespProcStack measured server-side
+	Elapsed   time.Duration // total server residence (read-done to write-done)
+}
+
+// response is the decoded response envelope.
+type response struct {
+	Code       trace.ErrorCode
+	Message    string
+	Payload    []byte
+	Compressed bool
+	// More marks an intermediate item of a server stream; the final
+	// message of a stream (and every unary response) has More = false
+	// and carries the server timings.
+	More    bool
+	Timings serverTimings
+}
+
+func (r *response) marshal() ([]byte, error) {
+	m := codec.NewMessage(responseDesc).
+		Set(respCode, uint64(r.Code)).
+		Set(respPayload, r.Payload)
+	if r.Message != "" {
+		m.Set(respMessage, r.Message)
+	}
+	if r.Compressed {
+		m.Set(respCompressed, true)
+	}
+	if r.More {
+		m.Set(respMore, true)
+	}
+	m.Set(respRecvQueueNs, uint64(r.Timings.RecvQueue)).
+		Set(respAppNs, uint64(r.Timings.App)).
+		Set(respSendQueueNs, uint64(r.Timings.SendQueue)).
+		Set(respProcNs, uint64(r.Timings.RespProc)).
+		Set(respElapsedNs, uint64(r.Timings.Elapsed))
+	return codec.Marshal(m)
+}
+
+func parseResponse(buf []byte) (*response, error) {
+	m, err := codec.Unmarshal(responseDesc, buf)
+	if err != nil {
+		return nil, fmt.Errorf("stubby: parsing response: %w", err)
+	}
+	return &response{
+		Code:       trace.ErrorCode(m.GetUint64(respCode)),
+		Message:    m.GetString(respMessage),
+		Payload:    m.GetBytes(respPayload),
+		Compressed: m.GetBool(respCompressed),
+		More:       m.GetBool(respMore),
+		Timings: serverTimings{
+			RecvQueue: time.Duration(m.GetUint64(respRecvQueueNs)),
+			App:       time.Duration(m.GetUint64(respAppNs)),
+			SendQueue: time.Duration(m.GetUint64(respSendQueueNs)),
+			RespProc:  time.Duration(m.GetUint64(respProcNs)),
+			Elapsed:   time.Duration(m.GetUint64(respElapsedNs)),
+		},
+	}, nil
+}

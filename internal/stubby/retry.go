@@ -1,0 +1,100 @@
+package stubby
+
+import (
+	"context"
+	"time"
+
+	"rpcscale/internal/trace"
+)
+
+// ClientInterceptor wraps outgoing calls; interceptors compose
+// outermost-first. The CallFunc performs the actual (or next) call.
+type ClientInterceptor func(ctx context.Context, method string, payload []byte, next CallFunc) ([]byte, error)
+
+// CallFunc is the signature of a unary call.
+type CallFunc func(ctx context.Context, method string, payload []byte) ([]byte, error)
+
+// Intercepted returns a CallFunc that applies the interceptors around the
+// channel's Call, outermost first.
+func (c *Channel) Intercepted(interceptors ...ClientInterceptor) CallFunc {
+	invoke := c.Call
+	for i := len(interceptors) - 1; i >= 0; i-- {
+		mid, next := interceptors[i], invoke
+		invoke = func(ctx context.Context, method string, payload []byte) ([]byte, error) {
+			return mid(ctx, method, payload, next)
+		}
+	}
+	return invoke
+}
+
+// RetryPolicy configures automatic retries of transient failures.
+// Production Stubby retries Unavailable-class errors with exponential
+// backoff; errors like NoPermission or InvalidArgument are permanent and
+// never retried.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries (including the first). <=1 disables.
+	MaxAttempts int
+	// BaseBackoff is the first retry delay; it doubles per attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the delay.
+	MaxBackoff time.Duration
+	// RetryableCodes lists the codes worth retrying. Nil selects the
+	// default transient set (Unavailable, NoResource, DeadlineExceeded
+	// excluded — the deadline is gone).
+	RetryableCodes []trace.ErrorCode
+}
+
+// DefaultRetryPolicy retries transient failures up to 3 attempts.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+	}
+}
+
+func (p RetryPolicy) retryable(code trace.ErrorCode) bool {
+	if p.RetryableCodes == nil {
+		return code == trace.Unavailable || code == trace.NoResource
+	}
+	for _, c := range p.RetryableCodes {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}
+
+// WithRetry returns a client interceptor implementing the policy.
+func WithRetry(policy RetryPolicy) ClientInterceptor {
+	return func(ctx context.Context, method string, payload []byte, next CallFunc) ([]byte, error) {
+		var lastErr error
+		backoff := policy.BaseBackoff
+		attempts := policy.MaxAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		for attempt := 0; attempt < attempts; attempt++ {
+			if attempt > 0 {
+				select {
+				case <-time.After(backoff):
+				case <-ctx.Done():
+					return nil, codeToError(cancelCode(ctx))
+				}
+				backoff *= 2
+				if policy.MaxBackoff > 0 && backoff > policy.MaxBackoff {
+					backoff = policy.MaxBackoff
+				}
+			}
+			out, err := next(ctx, method, payload)
+			if err == nil {
+				return out, nil
+			}
+			lastErr = err
+			if !policy.retryable(Code(err)) {
+				return nil, err
+			}
+		}
+		return nil, lastErr
+	}
+}

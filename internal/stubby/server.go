@@ -1,0 +1,388 @@
+package stubby
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"rpcscale/internal/compressor"
+	"rpcscale/internal/trace"
+	"rpcscale/internal/wire"
+)
+
+// Handler serves one RPC method: it receives the request payload and
+// returns the response payload or an error (ideally a *Status).
+type Handler func(ctx context.Context, payload []byte) ([]byte, error)
+
+// ServerInterceptor wraps handler invocation; interceptors compose
+// outermost-first, mirroring Stubby/gRPC middleware.
+type ServerInterceptor func(ctx context.Context, method string, payload []byte, next Handler) ([]byte, error)
+
+// Server accepts connections and dispatches RPCs to registered handlers
+// through a bounded receive queue and a fixed worker pool — the structure
+// whose queue the paper's ServerRecvQueue component measures.
+type Server struct {
+	opts Options
+	comp *compressor.Compressor
+
+	mu             sync.RWMutex
+	handlers       map[string]Handler
+	streamHandlers map[string]StreamHandler
+	intcpt         []ServerInterceptor
+
+	recvQ chan *serverCall
+
+	lnMu      sync.Mutex
+	listeners map[net.Listener]struct{}
+
+	conns sync.WaitGroup // active connection readers + writers
+	pool  sync.WaitGroup // worker pool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// serverCall is one queued request with the instrumentation timestamps
+// accumulated so far.
+type serverCall struct {
+	conn     *serverConn
+	streamID uint64
+	raw      []byte    // encrypted-then-decrypted envelope bytes
+	readDone time.Time // when the request frame finished arriving
+}
+
+// serverConn is the per-connection state: the transport plus the response
+// send queue drained by a writer goroutine (ServerSendQueue).
+type serverConn struct {
+	tr     *transport
+	sendQ  chan *serverResponse
+	cancel sync.Map // streamID -> context.CancelFunc for in-flight calls
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (c *serverConn) shutdown() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.tr.close()
+	})
+}
+
+// serverResponse is a response waiting in the send queue.
+type serverResponse struct {
+	streamID uint64
+	// raw, when set, is a pre-marshalled frame payload (stream items);
+	// resp drives the normal final-response path.
+	raw       []byte
+	resp      *response
+	appDone   time.Time // handler completion: send-queue time starts here
+	readDone  time.Time // request arrival, for Elapsed
+	recvQueue time.Duration
+	app       time.Duration
+}
+
+// NewServer returns a server with the given options.
+func NewServer(opts Options) *Server {
+	o := opts.withDefaults()
+	s := &Server{
+		opts:           o,
+		comp:           compressor.New(o.Compression, o.CompressorStats),
+		handlers:       make(map[string]Handler),
+		streamHandlers: make(map[string]StreamHandler),
+		recvQ:          make(chan *serverCall, o.RecvQueueLen),
+		listeners:      make(map[net.Listener]struct{}),
+		closed:         make(chan struct{}),
+	}
+	for i := 0; i < o.Workers; i++ {
+		s.pool.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Register installs a handler for a fully qualified method name. It panics
+// on duplicate registration, which is a programming error.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("stubby: duplicate handler for %q", method))
+	}
+	if _, dup := s.streamHandlers[method]; dup {
+		panic(fmt.Sprintf("stubby: %q already registered as a stream", method))
+	}
+	s.handlers[method] = h
+}
+
+// Intercept appends a server interceptor; later additions run closer to
+// the handler.
+func (s *Server) Intercept(i ServerInterceptor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.intcpt = append(s.intcpt, i)
+}
+
+// Serve accepts connections on l until the server or listener closes.
+// It always returns a non-nil error; after Close it returns nil-wrapped
+// ErrServerClosed semantics via net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.lnMu.Lock()
+	select {
+	case <-s.closed:
+		s.lnMu.Unlock()
+		l.Close()
+		return net.ErrClosed
+	default:
+	}
+	s.listeners[l] = struct{}{}
+	s.lnMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		tr, err := newTransport(conn, s.opts.Secret, "s2c", "c2s", s.opts.EncryptionStats)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		sc := &serverConn{
+			tr:     tr,
+			sendQ:  make(chan *serverResponse, s.opts.SendQueueLen),
+			closed: make(chan struct{}),
+		}
+		s.conns.Add(2)
+		go s.readLoop(sc)
+		go s.writeLoop(sc)
+	}
+}
+
+// readLoop pulls frames off one connection and enqueues requests.
+func (s *Server) readLoop(sc *serverConn) {
+	defer s.conns.Done()
+	defer sc.shutdown()
+	for {
+		f, plain, err := sc.tr.recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level failure; nothing to salvage.
+			}
+			return
+		}
+		switch f.Type {
+		case wire.FrameRequest:
+			call := &serverCall{
+				conn:     sc,
+				streamID: f.StreamID,
+				raw:      append([]byte(nil), plain...),
+				readDone: time.Now(),
+			}
+			select {
+			case s.recvQ <- call:
+			case <-s.closed:
+				return
+			default:
+				// Receive queue full: shed load with NoResource, the
+				// overload behavior the paper's error taxonomy records.
+				s.reject(sc, f.StreamID, trace.NoResource, "server receive queue full")
+			}
+		case wire.FrameCancel:
+			if cancel, ok := sc.cancel.Load(f.StreamID); ok {
+				cancel.(context.CancelFunc)()
+			}
+		case wire.FramePing:
+			_ = sc.tr.send(wire.FramePong, f.StreamID, nil)
+		case wire.FrameGoAway:
+			return
+		}
+	}
+}
+
+// reject sends an error response without involving the worker pool.
+func (s *Server) reject(sc *serverConn, streamID uint64, code trace.ErrorCode, msg string) {
+	resp := &response{Code: code, Message: msg}
+	buf, err := resp.marshal()
+	if err != nil {
+		return
+	}
+	_ = sc.tr.send(wire.FrameResponse, streamID, buf)
+}
+
+// worker drains the receive queue: decode, deadline setup, handler
+// invocation, and response enqueue.
+func (s *Server) worker() {
+	defer s.pool.Done()
+	for {
+		select {
+		case call := <-s.recvQ:
+			s.handle(call)
+		case <-s.closed:
+			// Drain remaining work before exiting so accepted requests
+			// are answered.
+			for {
+				select {
+				case call := <-s.recvQ:
+					s.handle(call)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Server) handle(call *serverCall) {
+	req, err := parseRequest(call.raw)
+	if err != nil {
+		s.reject(call.conn, call.streamID, trace.Internal, err.Error())
+		return
+	}
+	payload := req.Payload
+	if req.Compressed {
+		payload, err = s.comp.Decompress(payload)
+		if err != nil {
+			s.reject(call.conn, call.streamID, trace.Internal, "decompress: "+err.Error())
+			return
+		}
+	}
+	// The paper counts decrypt+parse inside ServerRecvQueue (§3.1); decode
+	// happened between readDone and now, so the measurement matches.
+	recvQueue := time.Since(call.readDone)
+	req.Payload = payload
+
+	s.mu.RLock()
+	h := s.handlers[req.Method]
+	sh := s.streamHandlers[req.Method]
+	intcpt := s.intcpt
+	s.mu.RUnlock()
+
+	if sh != nil {
+		s.handleStream(call, req, sh, recvQueue)
+		return
+	}
+
+	ctx := ContextWithTrace(context.Background(), TraceContext{
+		TraceID: req.TraceID,
+		SpanID:  req.SpanID,
+	})
+	var cancel context.CancelFunc
+	if req.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	call.conn.cancel.Store(call.streamID, cancel)
+	defer func() {
+		call.conn.cancel.Delete(call.streamID)
+		cancel()
+	}()
+
+	var out []byte
+	var herr error
+	appStart := time.Now()
+	if h == nil {
+		herr = Errorf(trace.EntityNotFound, "no handler for method %q", req.Method)
+	} else {
+		invoke := h
+		for i := len(intcpt) - 1; i >= 0; i-- {
+			mid, next := intcpt[i], invoke
+			invoke = func(c context.Context, p []byte) ([]byte, error) {
+				return mid(c, req.Method, p, next)
+			}
+		}
+		out, herr = invoke(ctx, payload)
+		if ctxErr := ctx.Err(); herr == nil && ctxErr != nil {
+			herr = ctxErrToStatus(ctxErr)
+		}
+	}
+	appDone := time.Now()
+
+	st := StatusFromError(herr)
+	resp := &response{Code: st.Code, Payload: out}
+	if st.Code != trace.OK {
+		resp.Message = st.Message
+		resp.Payload = nil
+	}
+	sr := &serverResponse{
+		streamID:  call.streamID,
+		resp:      resp,
+		appDone:   appDone,
+		readDone:  call.readDone,
+		recvQueue: recvQueue,
+		app:       appDone.Sub(appStart),
+	}
+	select {
+	case call.conn.sendQ <- sr:
+	case <-call.conn.closed:
+	}
+}
+
+func ctxErrToStatus(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrDeadlineExceeded
+	}
+	return ErrCancelled
+}
+
+// writeLoop drains one connection's send queue: compress, marshal,
+// encrypt, write — the server side of RespProcStack.
+func (s *Server) writeLoop(sc *serverConn) {
+	defer s.conns.Done()
+	for {
+		select {
+		case sr := <-sc.sendQ:
+			if sr.raw != nil {
+				_ = sc.tr.send(wire.FrameResponse, sr.streamID, sr.raw)
+				continue
+			}
+			procStart := time.Now()
+			sendQueue := procStart.Sub(sr.appDone)
+			resp := sr.resp
+			if s.opts.Compression != compressor.None && len(resp.Payload) >= s.opts.CompressThreshold {
+				if compressed, err := s.comp.Compress(resp.Payload); err == nil && len(compressed) < len(resp.Payload) {
+					resp.Payload = compressed
+					resp.Compressed = true
+				}
+			}
+			resp.Timings = serverTimings{
+				RecvQueue: sr.recvQueue,
+				App:       sr.app,
+				SendQueue: sendQueue,
+			}
+			// Marshal once to measure RespProc including serialization;
+			// the timing fields are filled before the final marshal so
+			// RespProc is a lower bound measured up to the write.
+			buf, err := resp.marshal()
+			if err != nil {
+				continue
+			}
+			resp.Timings.RespProc = time.Since(procStart)
+			resp.Timings.Elapsed = time.Since(sr.readDone)
+			buf, err = resp.marshal()
+			if err != nil {
+				continue
+			}
+			_ = sc.tr.send(wire.FrameResponse, sr.streamID, buf)
+		case <-sc.closed:
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes all listeners, and releases the worker
+// pool. In-flight handlers run to completion.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.lnMu.Lock()
+		for l := range s.listeners {
+			l.Close()
+		}
+		s.lnMu.Unlock()
+		s.pool.Wait()
+	})
+}

@@ -1,0 +1,297 @@
+package stubby
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"rpcscale/internal/trace"
+	"rpcscale/internal/wire"
+)
+
+// Server-streaming RPCs: one request, a sequence of response messages
+// terminated by a final status. The paper's tracing methodology excludes
+// streaming RPCs from its sampling ("the sampling omits some RPC classes,
+// such as streaming RPCs that are used for some bulk-data transfers",
+// §2.1); this implementation mirrors that — streams do not emit trace
+// spans — while giving the stack the bulk-transfer class those services
+// actually use.
+
+// StreamHandler serves a server-streaming method: it sends zero or more
+// messages via send and returns the final status. send blocks when the
+// connection's send queue is full and fails once the client cancels.
+type StreamHandler func(ctx context.Context, payload []byte, send func([]byte) error) error
+
+// RegisterStream installs a server-streaming handler. Unary and streaming
+// methods share one namespace.
+func (s *Server) RegisterStream(method string, h StreamHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("stubby: duplicate handler for %q", method))
+	}
+	if _, dup := s.streamHandlers[method]; dup {
+		panic(fmt.Sprintf("stubby: duplicate stream handler for %q", method))
+	}
+	if s.streamHandlers == nil {
+		s.streamHandlers = make(map[string]StreamHandler)
+	}
+	s.streamHandlers[method] = h
+}
+
+// handleStream runs a streaming call on a worker.
+func (s *Server) handleStream(call *serverCall, req *request, h StreamHandler, recvQueue time.Duration) {
+	ctx := ContextWithTrace(context.Background(), TraceContext{
+		TraceID: req.TraceID,
+		SpanID:  req.SpanID,
+	})
+	var cancel context.CancelFunc
+	if req.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	call.conn.cancel.Store(call.streamID, cancel)
+	defer func() {
+		call.conn.cancel.Delete(call.streamID)
+		cancel()
+	}()
+
+	appStart := time.Now()
+	send := func(item []byte) error {
+		if err := ctx.Err(); err != nil {
+			return ctxErrToStatus(err)
+		}
+		resp := &response{Code: trace.OK, Payload: item, More: true}
+		buf, err := resp.marshal()
+		if err != nil {
+			return err
+		}
+		select {
+		case call.conn.sendQ <- &serverResponse{streamID: call.streamID, raw: buf}:
+			return nil
+		case <-call.conn.closed:
+			return ErrUnavailable
+		case <-ctx.Done():
+			return ctxErrToStatus(ctx.Err())
+		}
+	}
+
+	herr := h(ctx, req.Payload, send)
+	if herr == nil && ctx.Err() != nil {
+		herr = ctxErrToStatus(ctx.Err())
+	}
+	appDone := time.Now()
+	st := StatusFromError(herr)
+	final := &response{Code: st.Code}
+	if st.Code != trace.OK {
+		final.Message = st.Message
+	}
+	sr := &serverResponse{
+		streamID:  call.streamID,
+		resp:      final,
+		appDone:   appDone,
+		readDone:  call.readDone,
+		recvQueue: recvQueue,
+		app:       appDone.Sub(appStart),
+	}
+	select {
+	case call.conn.sendQ <- sr:
+	case <-call.conn.closed:
+	}
+}
+
+// ServerStream is the client's view of a server-streaming call.
+type ServerStream struct {
+	c        *Channel
+	streamID uint64
+
+	items  chan *response // delivered by the channel's read loop
+	doneCh chan struct{}  // closed on failure, Close, or final status
+	once   sync.Once
+
+	mu     sync.Mutex
+	err    error // terminal error; nil + closed doneCh = clean EOF
+	cancel func()
+}
+
+// CallStream starts a server-streaming RPC. Read messages with Recv until
+// io.EOF (clean end) or an error; call Close to abandon early.
+func (c *Channel) CallStream(ctx context.Context, method string, payload []byte) (*ServerStream, error) {
+	parent, ok := TraceFromContext(ctx)
+	tc := TraceContext{SpanID: nextSpanID()}
+	if ok {
+		tc.TraceID = parent.TraceID
+	} else {
+		tc.TraceID = nextTraceID()
+	}
+	deadline := c.opts.DefaultDeadline
+	if dl, has := ctx.Deadline(); has {
+		deadline = time.Until(dl)
+	}
+	if deadline <= 0 {
+		return nil, ErrDeadlineExceeded
+	}
+	req := &request{
+		Method:   method,
+		TraceID:  tc.TraceID,
+		SpanID:   tc.SpanID,
+		Deadline: deadline,
+		Payload:  payload,
+	}
+	buf, err := req.marshal()
+	if err != nil {
+		return nil, err
+	}
+
+	streamID := c.nextStream.Add(1)
+	st := &ServerStream{
+		c:        c,
+		streamID: streamID,
+		items:    make(chan *response, 16),
+		doneCh:   make(chan struct{}),
+	}
+	streamCtx, cancel := context.WithCancel(ctx)
+	st.cancel = cancel
+
+	c.mu.Lock()
+	select {
+	case <-c.closed:
+		c.mu.Unlock()
+		cancel()
+		return nil, ErrUnavailable
+	default:
+	}
+	if c.streams == nil {
+		c.streams = make(map[uint64]*ServerStream)
+	}
+	c.streams[streamID] = st
+	c.mu.Unlock()
+
+	// Streams bypass the unary send queue: the request goes out
+	// immediately (stream setup is not part of the unary queue study).
+	if err := c.tr.send(wire.FrameRequest, streamID, buf); err != nil {
+		c.dropStream(streamID)
+		cancel()
+		return nil, ErrUnavailable
+	}
+
+	// Relay caller cancellation to the server.
+	go func() {
+		select {
+		case <-streamCtx.Done():
+			select {
+			case <-st.doneCh: // already finished; nothing to cancel
+			default:
+				_ = c.tr.send(wire.FrameCancel, streamID, nil)
+			}
+		case <-st.doneCh:
+		}
+	}()
+	return st, nil
+}
+
+// deliver routes one response frame into the stream (read loop only).
+// A stream that is done discards late frames.
+func (st *ServerStream) deliver(resp *response) {
+	select {
+	case st.items <- resp:
+	case <-st.doneCh:
+	}
+}
+
+// fail terminates the stream; nil err means clean EOF. It reports
+// whether this call was the one that terminated it.
+func (st *ServerStream) fail(err error) bool {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+	first := false
+	st.once.Do(func() {
+		close(st.doneCh)
+		first = true
+	})
+	return first
+}
+
+// Recv returns the next message. It returns io.EOF after the final status
+// of a clean stream, or the terminal error otherwise. Buffered messages
+// are drained before the terminal state is reported.
+func (st *ServerStream) Recv() ([]byte, error) {
+	select {
+	case resp := <-st.items:
+		return st.consume(resp)
+	default:
+	}
+	select {
+	case resp := <-st.items:
+		return st.consume(resp)
+	case <-st.doneCh:
+		return nil, st.terminal()
+	}
+}
+
+func (st *ServerStream) terminal() error {
+	st.mu.Lock()
+	err := st.err
+	st.mu.Unlock()
+	if err == nil {
+		return io.EOF
+	}
+	return err
+}
+
+func (st *ServerStream) consume(resp *response) ([]byte, error) {
+	if resp.More {
+		out := resp.Payload
+		if resp.Compressed {
+			var derr error
+			out, derr = st.c.comp.Decompress(out)
+			if derr != nil {
+				st.Close()
+				return nil, Errorf(trace.Internal, "decompress: %v", derr)
+			}
+		}
+		return out, nil
+	}
+	// Final status message.
+	st.c.dropStream(st.streamID)
+	var err error
+	if resp.Code != trace.OK {
+		err = &Status{Code: resp.Code, Message: resp.Message}
+	}
+	st.fail(err)
+	return nil, st.terminal()
+}
+
+// Close abandons the stream: the server's handler context is cancelled
+// and further Recv calls return Cancelled (or the clean terminal state if
+// the stream had already finished).
+func (st *ServerStream) Close() {
+	st.c.dropStream(st.streamID)
+	if st.fail(ErrCancelled) {
+		// We terminated a live stream: tell the server to stop.
+		_ = st.c.tr.send(wire.FrameCancel, st.streamID, nil)
+	}
+	if st.cancel != nil {
+		st.cancel()
+	}
+}
+
+// dropStream unregisters a stream ID.
+func (c *Channel) dropStream(streamID uint64) {
+	c.mu.Lock()
+	delete(c.streams, streamID)
+	c.mu.Unlock()
+}
+
+// lookupStream finds a live stream.
+func (c *Channel) lookupStream(streamID uint64) *ServerStream {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.streams[streamID]
+}

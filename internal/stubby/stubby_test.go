@@ -1,0 +1,519 @@
+package stubby
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rpcscale/internal/compressor"
+	"rpcscale/internal/trace"
+)
+
+// testSetup starts a server on a loopback listener, registers the given
+// handlers, and returns a connected channel. Everything is torn down with
+// t.Cleanup.
+func testSetup(t *testing.T, opts Options, handlers map[string]Handler) (*Channel, *Server) {
+	t.Helper()
+	srv := NewServer(opts)
+	for m, h := range handlers {
+		srv.Register(m, h)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	ch, err := Dial(l.Addr().String(), "test-cluster", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ch.Close()
+		srv.Close()
+	})
+	return ch, srv
+}
+
+func echoHandler(ctx context.Context, payload []byte) ([]byte, error) {
+	return payload, nil
+}
+
+func TestUnaryCall(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{"svc.Echo/Echo": echoHandler})
+	out, err := ch.Call(context.Background(), "svc.Echo/Echo", []byte("hello rpc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "hello rpc" {
+		t.Fatalf("echo = %q", out)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	ch, _ := testSetup(t, Options{Workers: 16}, map[string]Handler{"svc/Echo": echoHandler})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(i)}, 100+i)
+			out, err := ch.Call(context.Background(), "svc/Echo", payload)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(out, payload) {
+				errs <- errors.New("payload mismatch")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, nil)
+	_, err := ch.Call(context.Background(), "svc/Nope", []byte("x"))
+	if Code(err) != trace.EntityNotFound {
+		t.Fatalf("got %v, want EntityNotFound", err)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Fail": func(ctx context.Context, p []byte) ([]byte, error) {
+			return nil, Errorf(trace.NoPermission, "denied for %q", p)
+		},
+	})
+	_, err := ch.Call(context.Background(), "svc/Fail", []byte("user"))
+	st := StatusFromError(err)
+	if st.Code != trace.NoPermission {
+		t.Fatalf("code = %v", st.Code)
+	}
+	if st.Message == "" {
+		t.Fatal("message lost")
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Slow": func(ctx context.Context, p []byte) ([]byte, error) {
+			select {
+			case <-ctx.Done(): // server-side ctx must expire
+				return nil, ctx.Err()
+			case <-release:
+				return p, nil
+			}
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ch.Call(ctx, "svc/Slow", []byte("x"))
+	if Code(err) != trace.DeadlineExceeded {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline not enforced promptly: %v", elapsed)
+	}
+}
+
+func TestClientCancellation(t *testing.T) {
+	started := make(chan struct{}, 1)
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Block": func(ctx context.Context, p []byte) ([]byte, error) {
+			started <- struct{}{}
+			<-ctx.Done() // must be cancelled via FrameCancel
+			return nil, ctx.Err()
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ch.Call(ctx, "svc/Block", []byte("x"))
+		done <- err
+	}()
+	<-started
+	cancel()
+	err := <-done
+	if Code(err) != trace.Cancelled {
+		t.Fatalf("got %v, want Cancelled", err)
+	}
+}
+
+func TestCompressionRoundTrip(t *testing.T) {
+	opts := Options{Compression: compressor.Flate, CompressThreshold: 64}
+	big := bytes.Repeat([]byte("compressible! "), 1000)
+	ch, _ := testSetup(t, opts, map[string]Handler{"svc/Echo": echoHandler})
+	out, err := ch.Call(context.Background(), "svc/Echo", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, big) {
+		t.Fatal("compressed payload corrupted")
+	}
+}
+
+func TestCompressionStatsRecorded(t *testing.T) {
+	cs := &compressor.Stats{}
+	opts := Options{Compression: compressor.Flate, CompressThreshold: 64, CompressorStats: cs}
+	big := bytes.Repeat([]byte("abcabcabc "), 500)
+	ch, _ := testSetup(t, opts, map[string]Handler{"svc/Echo": echoHandler})
+	if _, err := ch.Call(context.Background(), "svc/Echo", big); err != nil {
+		t.Fatal(err)
+	}
+	if cs.CompressCalls.Load() == 0 {
+		t.Error("compression not metered")
+	}
+}
+
+func TestTraceSpansEmitted(t *testing.T) {
+	col := trace.NewCollector(1, 0)
+	ch, _ := testSetup(t, Options{Collector: col, ClusterName: "client-cl"},
+		map[string]Handler{"svc.S/M": func(ctx context.Context, p []byte) ([]byte, error) {
+			time.Sleep(5 * time.Millisecond) // measurable app time
+			return []byte("resp"), nil
+		}})
+	if _, err := ch.Call(context.Background(), "svc.S/M", []byte("req!")); err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	s := spans[0]
+	if s.Method != "svc.S/M" || s.Service != "svc" {
+		t.Errorf("identity = %q/%q", s.Method, s.Service)
+	}
+	if s.ClientCluster != "client-cl" || s.ServerCluster != "test-cluster" {
+		t.Errorf("placement = %q -> %q", s.ClientCluster, s.ServerCluster)
+	}
+	if s.RequestBytes != 4 || s.ResponseBytes != 4 {
+		t.Errorf("sizes = %d/%d", s.RequestBytes, s.ResponseBytes)
+	}
+	if got := s.Breakdown[trace.ServerApp]; got < 4*time.Millisecond {
+		t.Errorf("app time = %v, want >= ~5ms", got)
+	}
+	if s.Breakdown.Total() < s.Breakdown[trace.ServerApp] {
+		t.Error("total < app component")
+	}
+	if s.Err != trace.OK {
+		t.Errorf("err = %v", s.Err)
+	}
+	// Every component must be non-negative.
+	for c, v := range s.Breakdown {
+		if v < 0 {
+			t.Errorf("component %v negative: %v", trace.Component(c), v)
+		}
+	}
+}
+
+func TestNestedTracePropagation(t *testing.T) {
+	col := trace.NewCollector(1, 0)
+	opts := Options{Collector: col}
+
+	// Backend server.
+	backendSrv := NewServer(opts)
+	backendSrv.Register("backend/Leaf", echoHandler)
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go backendSrv.Serve(bl)
+	defer backendSrv.Close()
+
+	backendCh, err := Dial(bl.Addr().String(), "backend-cl", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backendCh.Close()
+
+	// Frontend server whose handler fans out to the backend.
+	frontSrv := NewServer(opts)
+	frontSrv.Register("front/Root", func(ctx context.Context, p []byte) ([]byte, error) {
+		// The ctx carries the incoming trace context; the nested call
+		// must become a child span.
+		return backendCh.Call(ctx, "backend/Leaf", p)
+	})
+	fl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go frontSrv.Serve(fl)
+	defer frontSrv.Close()
+
+	frontCh, err := Dial(fl.Addr().String(), "front-cl", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frontCh.Close()
+
+	if _, err := frontCh.Call(context.Background(), "front/Root", []byte("nested")); err != nil {
+		t.Fatal(err)
+	}
+
+	spans := col.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	trees := trace.BuildTrees(spans)
+	if len(trees) != 1 {
+		t.Fatalf("trees = %d, want 1 (trace not propagated)", len(trees))
+	}
+	root := trees[0].Root
+	if root.Span.Method != "front/Root" {
+		t.Errorf("root = %q", root.Span.Method)
+	}
+	if len(root.Children) != 1 || root.Children[0].Span.Method != "backend/Leaf" {
+		t.Errorf("children = %+v", root.Children)
+	}
+	// Parent app time must cover the nested call (paper §2.1: nested call
+	// time counts as parent application time).
+	if root.Span.Breakdown[trace.ServerApp] < root.Children[0].Span.Latency() {
+		t.Error("parent app time does not include nested call")
+	}
+}
+
+func TestHedgedCallWinner(t *testing.T) {
+	col := trace.NewCollector(1, 0)
+	var n int32
+	var mu sync.Mutex
+	ch, _ := testSetup(t, Options{Collector: col}, map[string]Handler{
+		"svc/Sometimes": func(ctx context.Context, p []byte) ([]byte, error) {
+			mu.Lock()
+			n++
+			first := n == 1
+			mu.Unlock()
+			if first {
+				// First leg hangs until cancelled.
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return []byte("fast"), nil
+		},
+	})
+	out, err := ch.CallHedged(context.Background(), "svc/Sometimes", []byte("q"), 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "fast" {
+		t.Fatalf("out = %q", out)
+	}
+	// Wait for the cancelled leg's span to land.
+	deadline := time.After(2 * time.Second)
+	for {
+		spans := col.Spans()
+		var hedged, cancelled bool
+		for _, s := range spans {
+			if s.Hedged {
+				hedged = true
+			}
+			if s.Err == trace.Cancelled || s.Err == trace.DeadlineExceeded {
+				cancelled = true
+			}
+		}
+		if hedged && cancelled {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("hedge spans incomplete: %d spans", len(spans))
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestHedgedCallPrimaryFastPath(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler})
+	out, err := ch.CallHedged(context.Background(), "svc/Echo", []byte("quick"), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "quick" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestHedgedCallBothFail(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Fail": func(ctx context.Context, p []byte) ([]byte, error) {
+			return nil, Errorf(trace.Internal, "boom")
+		},
+	})
+	_, err := ch.CallHedged(context.Background(), "svc/Fail", []byte("q"), 5*time.Millisecond)
+	if Code(err) != trace.Internal {
+		t.Fatalf("got %v, want Internal", err)
+	}
+}
+
+func TestPing(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, nil)
+	rtt, err := ch.Ping(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 || rtt > time.Second {
+		t.Fatalf("rtt = %v", rtt)
+	}
+}
+
+func TestServerInterceptor(t *testing.T) {
+	var order []string
+	var mu sync.Mutex
+	opts := Options{}
+	srv := NewServer(opts)
+	srv.Intercept(func(ctx context.Context, method string, p []byte, next Handler) ([]byte, error) {
+		mu.Lock()
+		order = append(order, "outer:"+method)
+		mu.Unlock()
+		return next(ctx, p)
+	})
+	srv.Intercept(func(ctx context.Context, method string, p []byte, next Handler) ([]byte, error) {
+		mu.Lock()
+		order = append(order, "inner")
+		mu.Unlock()
+		return next(ctx, p)
+	})
+	srv.Register("svc/M", echoHandler)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	ch, err := Dial(l.Addr().String(), "c", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	if _, err := ch.Call(context.Background(), "svc/M", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "outer:svc/M" || order[1] != "inner" {
+		t.Fatalf("interceptor order = %v", order)
+	}
+}
+
+func TestChannelCloseFailsPending(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{
+		"svc/Hang": func(ctx context.Context, p []byte) ([]byte, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := ch.Call(context.Background(), "svc/Hang", []byte("x"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	ch.Close()
+	select {
+	case err := <-done:
+		if Code(err) != trace.Unavailable {
+			t.Fatalf("got %v, want Unavailable", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not failed by Close")
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler})
+	ch.Close()
+	_, err := ch.Call(context.Background(), "svc/Echo", []byte("x"))
+	if Code(err) != trace.Unavailable {
+		t.Fatalf("got %v, want Unavailable", err)
+	}
+}
+
+func TestServiceOf(t *testing.T) {
+	cases := map[string]string{
+		"networkdisk.Disk/Write": "networkdisk",
+		"svc/M":                  "svc",
+		"bare":                   "bare",
+	}
+	for in, want := range cases {
+		if got := ServiceOf(in); got != want {
+			t.Errorf("ServiceOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	srv := NewServer(Options{})
+	defer srv.Close()
+	srv.Register("svc/M", echoHandler)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	srv.Register("svc/M", echoHandler)
+}
+
+func TestStatusHelpers(t *testing.T) {
+	if Code(nil) != trace.OK {
+		t.Error("nil error should be OK")
+	}
+	err := Errorf(trace.NoResource, "n=%d", 5)
+	if Code(err) != trace.NoResource {
+		t.Error("code lost")
+	}
+	if StatusFromError(errors.New("plain")).Code != trace.Internal {
+		t.Error("plain errors should map to Internal")
+	}
+	var s *Status = StatusFromError(err)
+	if s.Error() == "" {
+		t.Error("Error() empty")
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	ch, _ := testSetup(t, Options{}, map[string]Handler{"svc/Echo": echoHandler})
+	big := make([]byte, 2<<20) // 2 MB, beyond the paper's P99 response
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	out, err := ch.Call(context.Background(), "svc/Echo", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestWrongSecretFailsCleanly(t *testing.T) {
+	srv := NewServer(Options{Secret: []byte("server-secret")})
+	srv.Register("svc/Echo", echoHandler)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	ch, err := Dial(l.Addr().String(), "c", Options{Secret: []byte("client-secret")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ch.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err = ch.Call(ctx, "svc/Echo", []byte("x"))
+	if err == nil {
+		t.Fatal("mismatched secrets should fail")
+	}
+}

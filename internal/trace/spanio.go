@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SpanRecord is the stable JSON-lines serialization of a Span, written by
+// cmd/fleetgen and consumed by cmd/tracequery and cmd/rpcanalyze. It is a
+// plain data shape so external tools (jq, pandas) can use dumps directly.
+type SpanRecord struct {
+	TraceID  uint64 `json:"trace_id"`
+	SpanID   uint64 `json:"span_id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	Method   string `json:"method"`
+	Service  string `json:"service"`
+	Client   string `json:"client_cluster"`
+	Server   string `json:"server_cluster"`
+	StartNs  int64  `json:"start_ns"`
+
+	// Components holds the nine latencies in Component order, ns.
+	Components [NumComponents]int64 `json:"components_ns"`
+
+	ReqBytes  int64   `json:"req_bytes"`
+	RespBytes int64   `json:"resp_bytes"`
+	CPUCycles float64 `json:"cpu_cycles,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	Hedged    bool    `json:"hedged,omitempty"`
+}
+
+// ToRecord converts a span to its serialization shape.
+func ToRecord(s *Span) SpanRecord {
+	r := SpanRecord{
+		TraceID:   uint64(s.TraceID),
+		SpanID:    uint64(s.SpanID),
+		ParentID:  uint64(s.ParentID),
+		Method:    s.Method,
+		Service:   s.Service,
+		Client:    s.ClientCluster,
+		Server:    s.ServerCluster,
+		StartNs:   int64(s.Start),
+		ReqBytes:  s.RequestBytes,
+		RespBytes: s.ResponseBytes,
+		CPUCycles: s.CPUCycles,
+		Hedged:    s.Hedged,
+	}
+	for i, d := range s.Breakdown {
+		r.Components[i] = int64(d)
+	}
+	if s.Err.IsError() {
+		r.Error = s.Err.String()
+	}
+	return r
+}
+
+// ToSpan converts a record back to a span.
+func (r *SpanRecord) ToSpan() *Span {
+	s := &Span{
+		TraceID:       TraceID(r.TraceID),
+		SpanID:        SpanID(r.SpanID),
+		ParentID:      SpanID(r.ParentID),
+		Method:        r.Method,
+		Service:       r.Service,
+		ClientCluster: r.Client,
+		ServerCluster: r.Server,
+		Start:         time.Duration(r.StartNs),
+		RequestBytes:  r.ReqBytes,
+		ResponseBytes: r.RespBytes,
+		CPUCycles:     r.CPUCycles,
+		Hedged:        r.Hedged,
+	}
+	for i, v := range r.Components {
+		s.Breakdown[i] = time.Duration(v)
+	}
+	if r.Error != "" {
+		for code := ErrorCode(0); int(code) < NumErrorCodes; code++ {
+			if code.String() == r.Error {
+				s.Err = code
+				break
+			}
+		}
+	}
+	return s
+}
+
+// WriteSpans streams spans to w as JSON lines.
+func WriteSpans(w io.Writer, spans []*Span) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(ToRecord(s)); err != nil {
+			return fmt.Errorf("trace: encoding span: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a JSON-lines span stream.
+func ReadSpans(r io.Reader) ([]*Span, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var out []*Span
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec.ToSpan())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading spans: %w", err)
+	}
+	return out, nil
+}

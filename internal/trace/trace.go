@@ -1,0 +1,306 @@
+// Package trace implements a Dapper-style distributed tracing substrate:
+// spans carrying the paper's nine-component RPC latency breakdown, trace
+// trees reconstructed from parent links, and a sampling collector.
+//
+// Both data sources feed it: the real RPC stack (internal/stubby) emits
+// spans measured on live TCP connections, and the fleet simulator
+// (internal/sim) emits spans for synthetic RPCs. Every figure in the
+// paper's evaluation is computed from collections of these spans.
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Component indexes the nine latency components of an RPC, following
+// Figure 9 of the paper. The order follows the life of a request from the
+// client's send queue to the client's receive queue.
+type Component int
+
+// The nine components of RPC completion time.
+const (
+	ClientSendQueue Component = iota
+	ReqProcStack              // request RPC processing + network stack
+	ReqNetworkWire            // request propagation incl. network queuing
+	ServerRecvQueue
+	ServerApp // application handler, incl. nested RPC calls
+	ServerSendQueue
+	RespProcStack // response RPC processing + network stack
+	RespNetworkWire
+	ClientRecvQueue
+
+	NumComponents int = iota
+)
+
+var componentNames = [NumComponents]string{
+	"ClientSendQueue",
+	"ReqProcStack",
+	"ReqNetworkWire",
+	"ServerRecvQueue",
+	"ServerApp",
+	"ServerSendQueue",
+	"RespProcStack",
+	"RespNetworkWire",
+	"ClientRecvQueue",
+}
+
+var componentLabels = [NumComponents]string{
+	"Client Send Queue",
+	"Request Processing+Net Stack",
+	"Request Network Wire",
+	"Server Recv Queue",
+	"Server Application",
+	"Server Send Queue",
+	"Resp Processing+Net Stack",
+	"Resp Network Wire",
+	"Client Recv Queue",
+}
+
+// String returns the compact component name.
+func (c Component) String() string {
+	if c < 0 || int(c) >= NumComponents {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Label returns the human-readable label used in the paper's figures.
+func (c Component) Label() string {
+	if c < 0 || int(c) >= NumComponents {
+		return c.String()
+	}
+	return componentLabels[c]
+}
+
+// Components lists all nine components in order.
+func Components() []Component {
+	out := make([]Component, NumComponents)
+	for i := range out {
+		out[i] = Component(i)
+	}
+	return out
+}
+
+// Breakdown holds the per-component latencies of one RPC.
+type Breakdown [NumComponents]time.Duration
+
+// Total returns the RPC completion time (RCT): the sum of all components.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// App returns the server application time.
+func (b *Breakdown) App() time.Duration { return b[ServerApp] }
+
+// Tax returns the RPC latency tax: everything except application
+// processing (§3.1 of the paper).
+func (b *Breakdown) Tax() time.Duration { return b.Total() - b[ServerApp] }
+
+// TaxRatio returns Tax/Total in [0, 1], or 0 for a zero-duration RPC.
+func (b *Breakdown) TaxRatio() float64 {
+	total := b.Total()
+	if total <= 0 {
+		return 0
+	}
+	return float64(b.Tax()) / float64(total)
+}
+
+// Queue returns the total queuing latency: the four queue components.
+func (b *Breakdown) Queue() time.Duration {
+	return b[ClientSendQueue] + b[ServerRecvQueue] + b[ServerSendQueue] + b[ClientRecvQueue]
+}
+
+// Stack returns the RPC processing + network stack latency, request and
+// response sides combined.
+func (b *Breakdown) Stack() time.Duration { return b[ReqProcStack] + b[RespProcStack] }
+
+// Wire returns the network wire latency, both directions.
+func (b *Breakdown) Wire() time.Duration { return b[ReqNetworkWire] + b[RespNetworkWire] }
+
+// Dominant returns the component with the largest latency.
+func (b *Breakdown) Dominant() Component {
+	best := Component(0)
+	for c := 1; c < NumComponents; c++ {
+		if b[c] > b[best] {
+			best = Component(c)
+		}
+	}
+	return best
+}
+
+// Add accumulates other into b (used when averaging breakdowns).
+func (b *Breakdown) Add(other *Breakdown) {
+	for i := range b {
+		b[i] += other[i]
+	}
+}
+
+// Scale divides every component by n; no-op when n <= 0.
+func (b *Breakdown) Scale(n int) {
+	if n <= 0 {
+		return
+	}
+	for i := range b {
+		b[i] /= time.Duration(n)
+	}
+}
+
+// ErrorCode enumerates RPC outcome classes, following the canonical status
+// space of Stubby/gRPC restricted to the classes in the paper's Fig. 23.
+type ErrorCode uint8
+
+// RPC outcome codes.
+const (
+	OK ErrorCode = iota
+	Cancelled
+	EntityNotFound
+	NoResource
+	NoPermission
+	DeadlineExceeded
+	Unavailable
+	Internal
+	InvalidArgument
+
+	NumErrorCodes int = iota
+)
+
+var errorNames = [NumErrorCodes]string{
+	"OK", "Cancelled", "EntityNotFound", "NoResource", "NoPermission",
+	"DeadlineExceeded", "Unavailable", "Internal", "InvalidArgument",
+}
+
+// String returns the code name.
+func (e ErrorCode) String() string {
+	if int(e) >= NumErrorCodes {
+		return fmt.Sprintf("ErrorCode(%d)", int(e))
+	}
+	return errorNames[e]
+}
+
+// IsError reports whether the code is a failure.
+func (e ErrorCode) IsError() bool { return e != OK }
+
+// TraceID identifies one RPC tree; all spans of the tree share it.
+type TraceID uint64
+
+// SpanID identifies one span within a trace.
+type SpanID uint64
+
+// Span records one RPC: identity, placement, latency breakdown, sizes,
+// CPU cost, and outcome. This is the unit of analysis for the entire
+// characterization.
+type Span struct {
+	TraceID  TraceID
+	SpanID   SpanID
+	ParentID SpanID // 0 for the root RPC of a tree
+
+	Method  string // fully qualified method, e.g. "networkdisk.Disk/Write"
+	Service string // owning service, e.g. "networkdisk"
+
+	ClientCluster string // cluster the caller ran in
+	ServerCluster string // cluster the callee ran in
+
+	Start     time.Duration // start offset within the observation window
+	Breakdown Breakdown
+
+	RequestBytes  int64
+	ResponseBytes int64
+
+	// CPUCycles is the normalized CPU cost of serving this RPC
+	// (architecture-neutral units, as in Fig. 21). Zero means the sample
+	// was not annotated with cost information, matching the paper's note
+	// that not all Dapper samples carry CPU annotations.
+	CPUCycles float64
+
+	Err    ErrorCode
+	Hedged bool // true if this call was a hedging duplicate
+}
+
+// Latency returns the RPC completion time.
+func (s *Span) Latency() time.Duration { return s.Breakdown.Total() }
+
+// SameCluster reports whether client and server were co-located in one
+// cluster — the filter used throughout §3.3.
+func (s *Span) SameCluster() bool { return s.ClientCluster == s.ServerCluster }
+
+// Tree is one reconstructed RPC call tree.
+type Tree struct {
+	Root  *Node
+	Spans int // total spans in the tree
+}
+
+// Node is one RPC within a tree, with links to its children.
+type Node struct {
+	Span     *Span
+	Children []*Node
+}
+
+// Descendants returns the number of RPCs beneath this node (excluding the
+// node itself).
+func (n *Node) Descendants() int {
+	total := 0
+	for _, c := range n.Children {
+		total += 1 + c.Descendants()
+	}
+	return total
+}
+
+// Depth returns the height of the subtree rooted at n (a leaf has depth 0).
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth() + 1; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Walk visits the node and all descendants pre-order, passing the number
+// of ancestors (distance from the walk root).
+func (n *Node) Walk(fn func(node *Node, ancestors int)) {
+	n.walk(fn, 0)
+}
+
+func (n *Node) walk(fn func(node *Node, ancestors int), depth int) {
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// BuildTrees reconstructs call trees from a flat span collection. Spans
+// whose parent is missing from the collection (e.g., dropped by sampling)
+// are promoted to roots of their own partial trees, which is how Dapper
+// handles incomplete traces. Children appear in insertion order.
+func BuildTrees(spans []*Span) []*Tree {
+	type key struct {
+		t TraceID
+		s SpanID
+	}
+	nodes := make(map[key]*Node, len(spans))
+	for _, s := range spans {
+		nodes[key{s.TraceID, s.SpanID}] = &Node{Span: s}
+	}
+	var roots []*Node
+	for _, s := range spans {
+		n := nodes[key{s.TraceID, s.SpanID}]
+		if s.ParentID != 0 {
+			if p, ok := nodes[key{s.TraceID, s.ParentID}]; ok && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	trees := make([]*Tree, 0, len(roots))
+	for _, r := range roots {
+		trees = append(trees, &Tree{Root: r, Spans: 1 + r.Descendants()})
+	}
+	return trees
+}

@@ -1,0 +1,354 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mkBreakdown(vals ...time.Duration) Breakdown {
+	var b Breakdown
+	copy(b[:], vals)
+	return b
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	var b Breakdown
+	for i := range b {
+		b[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got, want := b.Total(), 45*time.Millisecond; got != want {
+		t.Errorf("Total = %v, want %v", got, want)
+	}
+	if got, want := b.App(), 5*time.Millisecond; got != want {
+		t.Errorf("App = %v, want %v", got, want)
+	}
+	if got, want := b.Tax(), 40*time.Millisecond; got != want {
+		t.Errorf("Tax = %v, want %v", got, want)
+	}
+	// Queue = components 0,3,5,8 = 1+4+6+9 = 20ms.
+	if got, want := b.Queue(), 20*time.Millisecond; got != want {
+		t.Errorf("Queue = %v, want %v", got, want)
+	}
+	// Stack = 2+7 = 9ms; Wire = 3+8 = 11ms.
+	if got, want := b.Stack(), 9*time.Millisecond; got != want {
+		t.Errorf("Stack = %v, want %v", got, want)
+	}
+	if got, want := b.Wire(), 11*time.Millisecond; got != want {
+		t.Errorf("Wire = %v, want %v", got, want)
+	}
+	if got := b.TaxRatio(); math.Abs(got-40.0/45.0) > 1e-12 {
+		t.Errorf("TaxRatio = %v", got)
+	}
+}
+
+func TestBreakdownGroupsPartitionTotal(t *testing.T) {
+	// Queue + Stack + Wire + App must always equal Total.
+	f := func(vals [9]int32) bool {
+		var b Breakdown
+		for i, v := range vals {
+			if v < 0 {
+				v = -v
+			}
+			b[i] = time.Duration(v)
+		}
+		return b.Queue()+b.Stack()+b.Wire()+b.App() == b.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownDominant(t *testing.T) {
+	var b Breakdown
+	b[ServerApp] = 10 * time.Millisecond
+	b[ReqNetworkWire] = 3 * time.Millisecond
+	if got := b.Dominant(); got != ServerApp {
+		t.Errorf("Dominant = %v", got)
+	}
+	b[ClientRecvQueue] = 20 * time.Millisecond
+	if got := b.Dominant(); got != ClientRecvQueue {
+		t.Errorf("Dominant = %v", got)
+	}
+}
+
+func TestBreakdownZeroTaxRatio(t *testing.T) {
+	var b Breakdown
+	if b.TaxRatio() != 0 {
+		t.Error("zero breakdown should have zero tax ratio")
+	}
+}
+
+func TestBreakdownAddScale(t *testing.T) {
+	a := mkBreakdown(2*time.Millisecond, 4*time.Millisecond)
+	b := mkBreakdown(4*time.Millisecond, 8*time.Millisecond)
+	a.Add(&b)
+	a.Scale(3)
+	if a[0] != 2*time.Millisecond || a[1] != 4*time.Millisecond {
+		t.Errorf("Add/Scale gave %v", a[:2])
+	}
+	a.Scale(0) // must be no-op
+	if a[0] != 2*time.Millisecond {
+		t.Error("Scale(0) modified breakdown")
+	}
+}
+
+func TestComponentNames(t *testing.T) {
+	if ServerApp.String() != "ServerApp" {
+		t.Errorf("name = %q", ServerApp.String())
+	}
+	if ServerApp.Label() != "Server Application" {
+		t.Errorf("label = %q", ServerApp.Label())
+	}
+	if Component(99).String() == "" || Component(-1).String() == "" {
+		t.Error("out-of-range components should still format")
+	}
+	if len(Components()) != NumComponents {
+		t.Error("Components() length mismatch")
+	}
+}
+
+func TestErrorCodeStrings(t *testing.T) {
+	if OK.String() != "OK" || Cancelled.String() != "Cancelled" {
+		t.Error("error names wrong")
+	}
+	if OK.IsError() {
+		t.Error("OK should not be an error")
+	}
+	if !Cancelled.IsError() {
+		t.Error("Cancelled should be an error")
+	}
+	if ErrorCode(200).String() == "" {
+		t.Error("unknown code should format")
+	}
+}
+
+// buildSpanTree constructs a simple trace: root -> (a, b), a -> (c, d).
+func buildSpanTree() []*Span {
+	return []*Span{
+		{TraceID: 1, SpanID: 1, Method: "root"},
+		{TraceID: 1, SpanID: 2, ParentID: 1, Method: "a"},
+		{TraceID: 1, SpanID: 3, ParentID: 1, Method: "b"},
+		{TraceID: 1, SpanID: 4, ParentID: 2, Method: "c"},
+		{TraceID: 1, SpanID: 5, ParentID: 2, Method: "d"},
+	}
+}
+
+func TestBuildTrees(t *testing.T) {
+	trees := BuildTrees(buildSpanTree())
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	tr := trees[0]
+	if tr.Spans != 5 {
+		t.Errorf("spans = %d", tr.Spans)
+	}
+	if tr.Root.Span.Method != "root" {
+		t.Errorf("root = %q", tr.Root.Span.Method)
+	}
+	if got := tr.Root.Descendants(); got != 4 {
+		t.Errorf("descendants = %d", got)
+	}
+	if got := tr.Root.Depth(); got != 2 {
+		t.Errorf("depth = %d", got)
+	}
+}
+
+func TestBuildTreesMultipleTraces(t *testing.T) {
+	spans := buildSpanTree()
+	spans = append(spans,
+		&Span{TraceID: 2, SpanID: 1, Method: "other-root"},
+		&Span{TraceID: 2, SpanID: 2, ParentID: 1, Method: "other-child"},
+	)
+	trees := BuildTrees(spans)
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+}
+
+func TestBuildTreesOrphanPromoted(t *testing.T) {
+	spans := []*Span{
+		{TraceID: 1, SpanID: 10, ParentID: 99, Method: "orphan"}, // parent missing
+		{TraceID: 1, SpanID: 11, ParentID: 10, Method: "child-of-orphan"},
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees", len(trees))
+	}
+	if trees[0].Root.Span.Method != "orphan" || trees[0].Spans != 2 {
+		t.Errorf("orphan tree = %+v", trees[0])
+	}
+}
+
+func TestBuildTreesSelfParent(t *testing.T) {
+	// A span whose parent ID equals its own span ID must not create a cycle.
+	spans := []*Span{{TraceID: 1, SpanID: 7, ParentID: 7, Method: "self"}}
+	trees := BuildTrees(spans)
+	if len(trees) != 1 || trees[0].Spans != 1 {
+		t.Fatalf("self-parent handling wrong: %+v", trees)
+	}
+}
+
+func TestWalkAncestorCounts(t *testing.T) {
+	trees := BuildTrees(buildSpanTree())
+	got := map[string]int{}
+	trees[0].Root.Walk(func(n *Node, ancestors int) {
+		got[n.Span.Method] = ancestors
+	})
+	want := map[string]int{"root": 0, "a": 1, "b": 1, "c": 2, "d": 2}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("ancestors[%s] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestCollectorSampling(t *testing.T) {
+	c := NewCollector(10, 0)
+	for id := TraceID(0); id < 100; id++ {
+		c.Collect(&Span{TraceID: id, SpanID: 1})
+	}
+	if c.Seen() != 100 {
+		t.Errorf("seen = %d", c.Seen())
+	}
+	if got := len(c.Spans()); got != 10 {
+		t.Errorf("sampled spans = %d, want 10", got)
+	}
+}
+
+func TestCollectorCapacity(t *testing.T) {
+	c := NewCollector(1, 5)
+	for id := TraceID(0); id < 10; id++ {
+		c.Collect(&Span{TraceID: id, SpanID: 1})
+	}
+	if got := len(c.Spans()); got != 5 {
+		t.Errorf("retained = %d, want 5", got)
+	}
+	if c.Overflow() != 5 {
+		t.Errorf("overflow = %d", c.Overflow())
+	}
+}
+
+func TestCollectorErrorCounting(t *testing.T) {
+	c := NewCollector(1, 0)
+	c.Collect(&Span{TraceID: 1, SpanID: 1, Err: OK})
+	c.Collect(&Span{TraceID: 2, SpanID: 1, Err: Cancelled})
+	c.Collect(&Span{TraceID: 3, SpanID: 1, Err: EntityNotFound})
+	if c.ErrorsSeen() != 2 {
+		t.Errorf("errors = %d", c.ErrorsSeen())
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(1, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Collect(&Span{TraceID: TraceID(g*1000 + i), SpanID: 1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Seen() != 8000 || len(c.Spans()) != 8000 {
+		t.Errorf("seen=%d retained=%d", c.Seen(), len(c.Spans()))
+	}
+}
+
+func TestCollectorReset(t *testing.T) {
+	c := NewCollector(1, 0)
+	c.Collect(&Span{TraceID: 1, SpanID: 1, Err: Cancelled})
+	c.Reset()
+	if c.Seen() != 0 || c.ErrorsSeen() != 0 || len(c.Spans()) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestCollectorTrees(t *testing.T) {
+	c := NewCollector(1, 0)
+	for _, s := range buildSpanTree() {
+		c.Collect(s)
+	}
+	trees := c.Trees()
+	if len(trees) != 1 || trees[0].Spans != 5 {
+		t.Errorf("trees = %+v", trees)
+	}
+}
+
+func TestMethodAggregateObserve(t *testing.T) {
+	a := NewMethodAggregate("m")
+	var b Breakdown
+	b[ServerApp] = 9 * time.Millisecond
+	b[ReqNetworkWire] = 1 * time.Millisecond
+	a.Observe(&Span{
+		Method: "m", Breakdown: b,
+		RequestBytes: 1000, ResponseBytes: 500, CPUCycles: 0.05,
+	})
+	if a.Calls != 1 || a.Errors != 0 {
+		t.Fatalf("calls=%d errors=%d", a.Calls, a.Errors)
+	}
+	if got := a.Latency.Mean(); math.Abs(got-1e7) > 1e7*0.01 {
+		t.Errorf("latency mean = %v, want ~1e7 ns", got)
+	}
+	if got := a.TaxRatio.Mean(); math.Abs(got-0.1) > 1e-9 {
+		t.Errorf("tax ratio = %v, want 0.1", got)
+	}
+	if got := a.SizeRatio.Mean(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("size ratio = %v, want 0.5", got)
+	}
+	if a.CPU.Count() != 1 {
+		t.Error("CPU sample not recorded")
+	}
+}
+
+func TestMethodAggregateErrorsExcludedFromLatency(t *testing.T) {
+	a := NewMethodAggregate("m")
+	var b Breakdown
+	b[ServerApp] = time.Second
+	a.Observe(&Span{Method: "m", Breakdown: b, Err: Cancelled, CPUCycles: 0.3})
+	if a.Calls != 1 || a.Errors != 1 {
+		t.Fatalf("calls=%d errors=%d", a.Calls, a.Errors)
+	}
+	if a.Latency.Count() != 0 {
+		t.Error("error span latency should be excluded (paper §2.1)")
+	}
+	if a.TotalCPU != 0.3 {
+		t.Error("error span CPU should still be counted")
+	}
+}
+
+func TestAggregateByMethod(t *testing.T) {
+	spans := []*Span{
+		{Method: "a", Breakdown: mkBreakdown(time.Millisecond)},
+		{Method: "a", Breakdown: mkBreakdown(2 * time.Millisecond)},
+		{Method: "b", Breakdown: mkBreakdown(3 * time.Millisecond)},
+	}
+	aggs := AggregateByMethod(spans)
+	if len(aggs) != 2 {
+		t.Fatalf("methods = %d", len(aggs))
+	}
+	if aggs["a"].Calls != 2 || aggs["b"].Calls != 1 {
+		t.Error("per-method call counts wrong")
+	}
+}
+
+func TestSpanHelpers(t *testing.T) {
+	s := &Span{ClientCluster: "x", ServerCluster: "x"}
+	if !s.SameCluster() {
+		t.Error("same cluster not detected")
+	}
+	s.ServerCluster = "y"
+	if s.SameCluster() {
+		t.Error("cross cluster not detected")
+	}
+	var b Breakdown
+	b[ServerApp] = 5 * time.Millisecond
+	s.Breakdown = b
+	if s.Latency() != 5*time.Millisecond {
+		t.Error("Latency helper wrong")
+	}
+}

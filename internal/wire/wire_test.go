@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []*Frame{
+		{Type: FrameRequest, StreamID: 1, Payload: []byte("hello")},
+		{Type: FrameResponse, StreamID: 1, Payload: []byte("world")},
+		{Type: FrameCancel, StreamID: 99, Payload: nil},
+		{Type: FramePing, StreamID: 0, Payload: []byte{0}},
+		{Type: FrameGoAway, StreamID: 1 << 62, Payload: bytes.Repeat([]byte{0xAB}, 10000)},
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.StreamID != want.StreamID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d mismatch: got %+v", i, got)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(streamID uint64, payload []byte, typeSel uint8) bool {
+		ft := byte(typeSel%6) + FrameRequest
+		var buf bytes.Buffer
+		in := &Frame{Type: ft, StreamID: streamID, Payload: payload}
+		if err := WriteFrame(&buf, in); err != nil {
+			return false
+		}
+		out, err := NewReader(&buf).ReadFrame()
+		if err != nil {
+			return false
+		}
+		return out.Type == in.Type && out.StreamID == in.StreamID &&
+			bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	f := &Frame{Type: FrameResponse, StreamID: 7, Payload: []byte("abc")}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	appended := AppendFrame(nil, f)
+	if !bytes.Equal(buf.Bytes(), appended) {
+		t.Fatalf("WriteFrame %x != AppendFrame %x", buf.Bytes(), appended)
+	}
+}
+
+func TestTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Frame{Type: FrameRequest, StreamID: 3, Payload: []byte("truncate me")}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 1; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		_, err := r.ReadFrame()
+		if err == nil {
+			t.Fatalf("cut=%d: expected error", cut)
+		}
+		if err == io.EOF {
+			t.Fatalf("cut=%d: mid-frame truncation must not be clean EOF", cut)
+		}
+	}
+}
+
+func TestBadFrameType(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{0xFF, 0x01, 0x00}))
+	_, err := r.ReadFrame()
+	if !errors.Is(err, ErrBadFrameType) {
+		t.Fatalf("got %v, want ErrBadFrameType", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	// Craft a header declaring a payload beyond MaxFrameSize without
+	// actually allocating it.
+	hdr := []byte{FrameRequest}
+	hdr = AppendUvarint(hdr, 1)
+	hdr = AppendUvarint(hdr, MaxFrameSize+1)
+	r := NewReader(bytes.NewReader(hdr))
+	_, err := r.ReadFrame()
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+
+	// Writing an oversize frame is also rejected up front.
+	w := &Frame{Type: FrameRequest, Payload: make([]byte, 1)}
+	w.Payload = w.Payload[:0]
+	if err := WriteFrame(io.Discard, &Frame{Type: FrameRequest, Payload: make([]byte, 0)}); err != nil {
+		t.Fatalf("empty frame: %v", err)
+	}
+}
+
+func TestReaderPayloadReuse(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteFrame(&buf, &Frame{Type: FrameRequest, StreamID: 1, Payload: []byte("first")})
+	_ = WriteFrame(&buf, &Frame{Type: FrameRequest, StreamID: 2, Payload: []byte("secnd")})
+	r := NewReader(&buf)
+	f1, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copied := append([]byte(nil), f1.Payload...)
+	if _, err := r.ReadFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(copied, []byte("first")) {
+		t.Fatal("copied payload corrupted")
+	}
+}
+
+func TestVarintHelpers(t *testing.T) {
+	for _, x := range []uint64{0, 1, 127, 128, 1 << 20, 1<<63 - 1} {
+		buf := AppendUvarint(nil, x)
+		if got := SizeUvarint(x); got != len(buf) {
+			t.Errorf("SizeUvarint(%d) = %d, want %d", x, got, len(buf))
+		}
+		back, n := Uvarint(buf)
+		if back != x || n != len(buf) {
+			t.Errorf("Uvarint round trip failed for %d", x)
+		}
+	}
+	for _, x := range []int64{0, -1, 1, -1 << 40, 1 << 40} {
+		buf := AppendVarint(nil, x)
+		back, n := Varint(buf)
+		if back != x || n != len(buf) {
+			t.Errorf("Varint round trip failed for %d", x)
+		}
+	}
+}
+
+func TestReadFrameFromChunkedReader(t *testing.T) {
+	// A reader that returns one byte at a time exercises partial reads.
+	var buf bytes.Buffer
+	want := &Frame{Type: FrameResponse, StreamID: 42, Payload: []byte("chunked payload")}
+	_ = WriteFrame(&buf, want)
+	r := NewReader(iotest{r: &buf})
+	got, err := r.ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Payload, want.Payload) || got.StreamID != 42 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+type iotest struct{ r io.Reader }
+
+func (i iotest) Read(p []byte) (int, error) {
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return i.r.Read(p)
+}

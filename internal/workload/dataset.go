@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"rpcscale/internal/fleet"
+	"rpcscale/internal/gwp"
+	"rpcscale/internal/sim"
+	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
+)
+
+// RunConfig sizes a dataset generation run. Zero fields select defaults
+// that keep `go test` fast; cmd/fleetgen scales them to paper volume.
+type RunConfig struct {
+	Seed uint64
+
+	// MethodSamples is the per-method stratified sample count (the
+	// paper requires >= 100 samples per method for well-defined P99s).
+	MethodSamples int
+	// StudiedSamples is the per-method sample count for the eight
+	// studied services (Figs. 14-18 need more resolution).
+	StudiedSamples int
+	// VolumeRoots is the number of popularity-weighted call samples
+	// (fleet-mix figures).
+	VolumeRoots int
+	// Trees is the number of materialized call trees.
+	Trees int
+	// MaxDepth and TreeBudget bound each tree.
+	MaxDepth   int
+	TreeBudget int
+
+	// Shards is the generation parallelism. Results are deterministic
+	// for a fixed (Seed, Shards) pair; the default is 8.
+	Shards int
+}
+
+// DefaultRun returns the test-scale run configuration.
+func DefaultRun() RunConfig {
+	return RunConfig{
+		Seed:           1,
+		MethodSamples:  120,
+		StudiedSamples: 1500,
+		VolumeRoots:    60000,
+		Trees:          800,
+		MaxDepth:       8,
+		TreeBudget:     3000,
+	}
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	d := DefaultRun()
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	if c.MethodSamples == 0 {
+		c.MethodSamples = d.MethodSamples
+	}
+	if c.StudiedSamples == 0 {
+		c.StudiedSamples = d.StudiedSamples
+	}
+	if c.VolumeRoots == 0 {
+		c.VolumeRoots = d.VolumeRoots
+	}
+	if c.Trees == 0 {
+		c.Trees = d.Trees
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = d.MaxDepth
+	}
+	if c.TreeBudget == 0 {
+		c.TreeBudget = d.TreeBudget
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	return c
+}
+
+// ExoObservation pairs a studied-service span with the exogenous state of
+// its serving cluster at call time (Fig. 17/18 raw material).
+type ExoObservation struct {
+	Span *trace.Span
+	Exo  sim.Exo
+}
+
+// Dataset is everything one generation run produces. All downstream
+// analyses (internal/core) consume Datasets.
+type Dataset struct {
+	Cat  *fleet.Catalog
+	Topo *sim.Topology
+
+	// MethodSpans holds the stratified per-method samples, keyed by
+	// method name. Client/server placement follows each method's
+	// locality model; times are uniform over 24h.
+	MethodSpans map[string][]*trace.Span
+
+	// VolumeSpans is the popularity-weighted fleet call mix, including
+	// hedging-induced cancellations.
+	VolumeSpans []*trace.Span
+
+	// TreeSpans and Trees are the materialized call-tree sample.
+	TreeSpans []*trace.Span
+	Trees     []*trace.Tree
+
+	// DescendantsByMethod / AncestorsByMethod are exact per-method
+	// samples gathered during generation (no materialization needed).
+	DescendantsByMethod map[string]*stats.Sample
+	AncestorsByMethod   map[string]*stats.Sample
+
+	// ExoByMethod holds studied-method spans paired with cluster state.
+	ExoByMethod map[string][]ExoObservation
+
+	// Profile is the GWP cycle attribution accumulated over the run.
+	Profile *gwp.Snapshot
+}
+
+// shardResult carries one shard's output back to the merger.
+type shardResult struct {
+	methodSpans map[string][]*trace.Span
+	volume      []*trace.Span
+	treeSpans   []*trace.Span
+	desc        map[string]*stats.Sample
+	anc         map[string]*stats.Sample
+	exo         map[string][]ExoObservation
+}
+
+// Generate runs the full pipeline, sharded across cfg.Shards goroutines.
+// Output is deterministic for a fixed (Seed, Shards) pair: each shard's
+// stream depends only on its own derived seed, and shards are merged in
+// index order.
+func Generate(cat *fleet.Catalog, topo *sim.Topology, cfg RunConfig) *Dataset {
+	cfg = cfg.withDefaults()
+	prof := gwp.New() // thread-safe; shared across shards
+
+	ds := &Dataset{
+		Cat:                 cat,
+		Topo:                topo,
+		MethodSpans:         make(map[string][]*trace.Span, len(cat.Methods)),
+		DescendantsByMethod: make(map[string]*stats.Sample),
+		AncestorsByMethod:   make(map[string]*stats.Sample),
+		ExoByMethod:         make(map[string][]ExoObservation),
+	}
+
+	studied := make(map[string]bool)
+	for _, s := range fleet.EightServices() {
+		studied[s.Method] = true
+	}
+	roots := entryMethods(cat)
+
+	results := make([]shardResult, cfg.Shards)
+	var wg sync.WaitGroup
+	for shard := 0; shard < cfg.Shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			results[shard] = runShard(cat, topo, prof, cfg, studied, roots, shard)
+		}(shard)
+	}
+	wg.Wait()
+
+	// Merge in shard order for determinism.
+	for _, r := range results {
+		for name, spans := range r.methodSpans {
+			ds.MethodSpans[name] = append(ds.MethodSpans[name], spans...)
+		}
+		ds.VolumeSpans = append(ds.VolumeSpans, r.volume...)
+		ds.TreeSpans = append(ds.TreeSpans, r.treeSpans...)
+		mergeSamples(ds.DescendantsByMethod, r.desc)
+		mergeSamples(ds.AncestorsByMethod, r.anc)
+		for name, obs := range r.exo {
+			ds.ExoByMethod[name] = append(ds.ExoByMethod[name], obs...)
+		}
+	}
+	ds.Trees = trace.BuildTrees(ds.TreeSpans)
+	ds.Profile = prof.Snapshot()
+	return ds
+}
+
+func mergeSamples(dst, src map[string]*stats.Sample) {
+	for name, s := range src {
+		d := dst[name]
+		if d == nil {
+			d = stats.NewSample(s.Len())
+			dst[name] = d
+		}
+		for _, v := range s.Values() {
+			d.Add(v)
+		}
+	}
+}
+
+// runShard produces one shard's slice of the dataset: every method's
+// stratified samples are split across shards, as are the volume roots and
+// trees.
+func runShard(cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg RunConfig, studied map[string]bool, roots []*fleet.Method, shard int) shardResult {
+	gen := NewGeneratorShard(cat, topo, prof, cfg.Seed, shard)
+	rng := stats.NewRNG(cfg.Seed).Child(fmt.Sprintf("dataset-%d", shard))
+	r := shardResult{
+		methodSpans: make(map[string][]*trace.Span),
+		desc:        make(map[string]*stats.Sample),
+		anc:         make(map[string]*stats.Sample),
+		exo:         make(map[string][]ExoObservation),
+	}
+	observeShape := func(method string, descendants, ancestors int) {
+		d := r.desc[method]
+		if d == nil {
+			d = stats.NewSample(0)
+			r.desc[method] = d
+		}
+		d.Add(float64(descendants))
+		a := r.anc[method]
+		if a == nil {
+			a = stats.NewSample(0)
+			r.anc[method] = a
+		}
+		a.Add(float64(ancestors))
+	}
+	share := func(total int) int {
+		n := total / cfg.Shards
+		if shard < total%cfg.Shards {
+			n++
+		}
+		return n
+	}
+
+	// --- Stratified per-method samples. ---
+	for _, m := range cat.Methods {
+		total := cfg.MethodSamples
+		if studied[m.Name] {
+			total = cfg.StudiedSamples
+		}
+		n := share(total)
+		spans := make([]*trace.Span, 0, n)
+		for i := 0; i < n; i++ {
+			at := time.Duration(rng.Float64() * float64(24*time.Hour))
+			obs := gen.Call(m, CallOptions{At: at, MaxDepth: cfg.MaxDepth, Budget: cfg.TreeBudget})
+			spans = append(spans, obs.Span)
+			observeShape(m.Name, obs.Descendants, obs.Ancestors)
+			if studied[m.Name] {
+				r.exo[m.Name] = append(r.exo[m.Name], ExoObservation{Span: obs.Span, Exo: obs.Exo})
+			}
+		}
+		r.methodSpans[m.Name] = spans
+	}
+
+	// --- Volume run: the fleet call mix. ---
+	nVolume := share(cfg.VolumeRoots)
+	r.volume = make([]*trace.Span, 0, nVolume+nVolume/50)
+	for i := 0; i < nVolume; i++ {
+		m := cat.SampleMethod(rng)
+		at := time.Duration(rng.Float64() * float64(24*time.Hour))
+		// Volume samples skip deep recursion: the popularity model is
+		// already the marginal distribution over all calls, so each
+		// sample stands for itself, with a shallow child layer for the
+		// parent-includes-children latency semantics.
+		obs := gen.Call(m, CallOptions{At: at, MaxDepth: 2, Budget: 64})
+		r.volume = append(r.volume, obs.Span)
+		// Hedging-induced cancellations at the fleet mix level.
+		if rng.Bool(m.HedgeProb * cancelPerHedge) {
+			r.volume = append(r.volume, gen.HedgedCancellation(m, at))
+		}
+	}
+
+	// --- Tree run: materialized call trees rooted at entry points. ---
+	collector := trace.NewCollector(1, 0)
+	for i := 0; i < share(cfg.Trees); i++ {
+		m := roots[rng.Intn(len(roots))]
+		at := time.Duration(rng.Float64() * float64(24*time.Hour))
+		gen.Call(m, CallOptions{
+			At: at, MaxDepth: cfg.MaxDepth, Budget: cfg.TreeBudget,
+			Materialize: true,
+			Observe: func(o CallObservation) {
+				collector.Collect(o.Span)
+				observeShape(o.Span.Method, o.Descendants, o.Ancestors)
+			},
+		})
+	}
+	r.treeSpans = collector.Spans()
+	return r
+}
+
+// entryMethods returns the call-tree roots: the highest-layer methods,
+// popularity-weighted sampling pool.
+func entryMethods(cat *fleet.Catalog) []*fleet.Method {
+	var out []*fleet.Method
+	for _, m := range cat.Methods {
+		if m.Layer >= 2 {
+			out = append(out, m)
+		}
+	}
+	if len(out) == 0 {
+		out = cat.Methods
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Popularity > out[j].Popularity })
+	if len(out) > 200 {
+		out = out[:200]
+	}
+	return out
+}
+
+// AllSpans returns the union of every span set (for fleet-wide error and
+// byte accounting that wants maximum sample volume).
+func (ds *Dataset) AllSpans() []*trace.Span {
+	out := make([]*trace.Span, 0,
+		len(ds.VolumeSpans)+len(ds.TreeSpans)+len(ds.MethodSpans)*8)
+	out = append(out, ds.VolumeSpans...)
+	out = append(out, ds.TreeSpans...)
+	for _, spans := range ds.MethodSpans {
+		out = append(out, spans...)
+	}
+	return out
+}
+
+// SpansForMethod returns the stratified spans of one method.
+func (ds *Dataset) SpansForMethod(name string) []*trace.Span { return ds.MethodSpans[name] }

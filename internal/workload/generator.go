@@ -1,0 +1,414 @@
+// Package workload executes the synthetic fleet catalog against the
+// simulator to produce the study's datasets: trace spans with full
+// nine-component breakdowns, call trees, per-method descendant/ancestor
+// counts, GWP cycle attribution, and Monarch counter series.
+//
+// The generator is the simulation counterpart of production traffic: every
+// span's components come from structural models (method profile x cluster
+// state x topology), so the figures computed downstream are emergent, not
+// transcribed.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"rpcscale/internal/fleet"
+	"rpcscale/internal/gwp"
+	"rpcscale/internal/sim"
+	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
+)
+
+// Epoch anchors simulation time zero on the wall clock (the start of the
+// paper's observation window, December 2020).
+var Epoch = time.Date(2020, 12, 1, 0, 0, 0, 0, time.UTC)
+
+// Generator produces spans for (method, cluster, time) triples. It is not
+// safe for concurrent use; clone per goroutine via NewGenerator with
+// distinct seeds.
+type Generator struct {
+	Cat  *fleet.Catalog
+	Topo *sim.Topology
+	Prof *gwp.Profiler
+
+	rng        *stats.RNG
+	nonCancel  *fleet.ErrorMix
+	nextTrace  uint64
+	nextSpanID uint64
+
+	// idBase namespaces trace/span IDs per shard (see NewGeneratorShard).
+	idBase uint64
+
+	// ColocateBoost is how strongly the cluster manager co-locates
+	// nested calls with their parent: the residual cross-cluster
+	// probability of a nested call is (1-locality)*(1-ColocateBoost).
+	// The default 0.75 models production placement; the co-location
+	// what-if study (§5.2) compares against 0.
+	ColocateBoost float64
+}
+
+// Tax-cycle attribution rates. The per-span cycle tax averages
+// taxRate of application cycles — the paper's 7.1%-of-total
+// (7.1/92.9 = 7.64% of application cycles) — and splits across the
+// Fig. 20 categories in the paper's proportions (3.1 : 1.7 : 1.2 : 1.1).
+const (
+	taxRate        = 0.0764
+	compShare      = 3.1 / 7.1
+	netShare       = 1.7 / 7.1
+	serShare       = 1.2 / 7.1
+	libShare       = 1.1 / 7.1
+	perByteStack   = 0.35 // ns of stack processing per payload byte
+	cancelPerHedge = 0.07 // P(visible cancellation | hedged call)
+
+	// childDispatch is the parent-side cost of issuing one nested call.
+	childDispatch = 5 * time.Microsecond
+)
+
+// NewGenerator builds a generator. prof may be nil (a private profiler is
+// created).
+func NewGenerator(cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, seed uint64) *Generator {
+	return NewGeneratorShard(cat, topo, prof, seed, 0)
+}
+
+// NewGeneratorShard builds a generator whose trace and span IDs live in a
+// disjoint namespace (shard index in the top bits), so multiple
+// generators can produce spans for one dataset concurrently without ID
+// collisions. Each shard's stream is deterministic in (seed, shard).
+func NewGeneratorShard(cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, seed uint64, shard int) *Generator {
+	if prof == nil {
+		prof = gwp.New()
+	}
+	// Errors other than Cancelled come from this mix; cancellations are
+	// produced structurally by hedging (§4.4), so excluding them here
+	// avoids double counting. Weights are the Fig. 23 remainder.
+	nonCancel := fleet.NewErrorMix(
+		[]trace.ErrorCode{
+			trace.EntityNotFound, trace.NoResource, trace.NoPermission,
+			trace.DeadlineExceeded, trace.Unavailable, trace.Internal,
+			trace.InvalidArgument,
+		},
+		[]float64{0.36, 0.16, 0.15, 0.13, 0.09, 0.07, 0.04},
+	)
+	return &Generator{
+		Cat:           cat,
+		Topo:          topo,
+		Prof:          prof,
+		rng:           stats.NewRNG(seed).Child(fmt.Sprintf("workload-%d", shard)),
+		nonCancel:     nonCancel,
+		ColocateBoost: 0.75,
+		idBase:        uint64(shard) << 48,
+	}
+}
+
+// CallObservation reports one generated call to optional hooks.
+type CallObservation struct {
+	Span        *trace.Span // always populated
+	Method      *fleet.Method
+	Server      *sim.Cluster
+	Client      *sim.Cluster
+	Exo         sim.Exo // server cluster state at call time
+	Descendants int
+	Ancestors   int
+}
+
+// CallOptions controls one tree generation.
+type CallOptions struct {
+	// Client pins the caller's cluster; nil picks per the method's
+	// locality model.
+	Client *sim.Cluster
+	// Server pins the root call's serving cluster (nested calls still
+	// place per their own models). Used by the cross-cluster latency
+	// study (Fig. 19).
+	Server *sim.Cluster
+	// SameClusterOnly forces client == server (the §3.3 intra-cluster
+	// filter).
+	SameClusterOnly bool
+	// At is the call time within the observation window.
+	At time.Duration
+	// MaxDepth bounds nesting (<=0 selects the default of 8).
+	MaxDepth int
+	// Budget bounds the subtree's span count (<=0 selects 4000).
+	Budget int
+	// Materialize emits spans for nested calls too; otherwise only the
+	// root call's span is built (descendant counts are still exact).
+	Materialize bool
+	// Observe receives every materialized call, and the root call even
+	// when Materialize is false.
+	Observe func(CallObservation)
+}
+
+type callResult struct {
+	rct   time.Duration
+	nodes int // calls in the subtree including self
+}
+
+// Call generates one RPC (and, recursively, its subtree) and returns the
+// root observation.
+func (g *Generator) Call(m *fleet.Method, opts CallOptions) CallObservation {
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 8
+	}
+	if opts.Budget <= 0 {
+		opts.Budget = 4000
+	}
+	budget := opts.Budget
+	tid := g.newTraceID()
+	var rootObs CallObservation
+	inner := opts.Observe
+	opts.Observe = func(o CallObservation) {
+		if o.Span.ParentID == 0 {
+			rootObs = o
+		}
+		if inner != nil {
+			inner(o)
+		}
+	}
+	client := opts.Client
+	if client == nil {
+		client = g.pickClient(m, opts)
+	}
+	g.genCall(m, client, opts.At, 0, &budget, tid, 0, &opts, true)
+	return rootObs
+}
+
+// pickClient chooses the caller's cluster for a root call: usually one of
+// the method's home clusters (locality), otherwise anywhere.
+func (g *Generator) pickClient(m *fleet.Method, opts CallOptions) *sim.Cluster {
+	clusters := g.Topo.Clusters
+	if opts.SameClusterOnly || g.rng.Bool(m.Locality) {
+		return clusters[m.HomeClusters[g.rng.Intn(len(m.HomeClusters))]]
+	}
+	return clusters[g.rng.Intn(len(clusters))]
+}
+
+// pickServer chooses the serving cluster given the client. Nested calls
+// get a locality boost: a partition/aggregate parent overwhelmingly fans
+// out within its own cluster (the cluster manager co-locates trees).
+func (g *Generator) pickServer(m *fleet.Method, client *sim.Cluster, sameOnly, nested bool) *sim.Cluster {
+	if sameOnly {
+		return client
+	}
+	locality := m.Locality
+	if nested {
+		locality = 1 - (1-locality)*(1-g.ColocateBoost)
+	}
+	if g.rng.Bool(locality) {
+		// Co-located placement: the parent's own cluster when the
+		// method serves there, otherwise the nearest home cluster.
+		for _, h := range m.HomeClusters {
+			if g.Topo.Clusters[h] == client {
+				return client
+			}
+		}
+		best := g.Topo.Clusters[m.HomeClusters[0]]
+		for _, h := range m.HomeClusters[1:] {
+			cand := g.Topo.Clusters[h]
+			if g.Topo.DistanceKm(client, cand) < g.Topo.DistanceKm(client, best) {
+				best = cand
+			}
+		}
+		return best
+	}
+	return g.Topo.Clusters[m.HomeClusters[g.rng.Intn(len(m.HomeClusters))]]
+}
+
+func (g *Generator) newTraceID() trace.TraceID {
+	g.nextTrace++
+	x := g.idBase | g.nextTrace
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return trace.TraceID(x ^ (x >> 31))
+}
+
+func (g *Generator) newSpanID() trace.SpanID {
+	g.nextSpanID++
+	return trace.SpanID(g.idBase | g.nextSpanID)
+}
+
+// genCall generates one call and its subtree.
+func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Duration, depth int, budget *int, tid trace.TraceID, parent trace.SpanID, opts *CallOptions, isRoot bool) callResult {
+	*budget--
+	rng := g.rng
+	var server *sim.Cluster
+	switch {
+	case isRoot && opts.Server != nil:
+		server = opts.Server
+	case isRoot && opts.SameClusterOnly:
+		server = client
+	default:
+		server = g.pickServer(m, client, false, !isRoot)
+	}
+	exo := server.Exo.At(at)
+	clientExo := client.Exo.At(at)
+
+	req, resp := m.SampleSizes(rng)
+	spanID := g.newSpanID() // allocated before recursion so children can link
+
+	// Application time target: catalog profile scaled by platform speed
+	// and exogenous slowdown (the Fig. 16/17 cluster-state coupling).
+	// Per the paper (§2.1), this time *includes* waiting on nested
+	// calls — the nesting is invisible to the caller — so children run
+	// inside the target and only extend it when a straggler child
+	// outlives it.
+	appTarget := time.Duration(float64(m.SampleAppTime(rng)) * server.SpeedFactor * exo.SlowdownFactor())
+
+	// Nested calls: children run in parallel with this server as their
+	// client (partition/aggregate), so the slowest child gates the
+	// parent, plus a small per-child dispatch cost.
+	var childTime time.Duration
+	nodes := 1
+	if depth < opts.MaxDepth && *budget > 0 {
+		fan := m.SampleFanOut(rng)
+		if fan > *budget {
+			fan = *budget
+		}
+		var slowest time.Duration
+		for i := 0; i < fan && *budget > 0; i++ {
+			child := m.PickCallee(rng)
+			cr := g.genCall(child, server, at, depth+1, budget, tid, spanID, opts, false)
+			nodes += cr.nodes
+			if cr.rct > slowest {
+				slowest = cr.rct
+			}
+		}
+		childTime = slowest + time.Duration(fan)*childDispatch
+	}
+	app := appTarget
+	if childTime > app {
+		// Straggler children push the handler past its own target —
+		// but only partially: production parents mitigate stragglers
+		// with hedged backup requests (§4.4), so extreme child tails
+		// are soft-clamped rather than inherited wholesale.
+		excess := childTime - app
+		if limit := 3 * appTarget; excess > limit {
+			excess = limit + (excess-limit)/5
+		}
+		app += excess + appTarget/10
+	}
+	localApp := appTarget
+
+	// Queue components. Server receive queuing scales with the pool's
+	// effective utilization: the method's queue factor pushes a
+	// congested pool's utilization toward saturation (queue-heavy
+	// services run light handlers behind deep queues) and relaxes it
+	// for over-provisioned pools.
+	qSvc := localApp * 3 / 10
+	if qSvc > 5*time.Millisecond {
+		qSvc = 5 * time.Millisecond
+	}
+	if qSvc < 30*time.Microsecond {
+		qSvc = 30 * time.Microsecond
+	}
+	effUtil := exo.CPUUtil
+	if m.QueueFactor > 1 {
+		effUtil = 1 - (1-effUtil)/m.QueueFactor
+	} else if m.QueueFactor > 0 {
+		effUtil *= m.QueueFactor
+	}
+	var b trace.Breakdown
+	b[trace.ServerApp] = app
+	b[trace.ClientSendQueue] = sim.QueueWait(rng, 20*time.Microsecond, clientExo.CPUUtil*0.6, clientExo)
+	b[trace.ServerRecvQueue] = sim.QueueWait(rng, qSvc, effUtil, exo)
+	b[trace.ServerSendQueue] = sim.QueueWait(rng, 30*time.Microsecond, exo.CPUUtil*0.5, exo)
+	b[trace.ClientRecvQueue] = sim.QueueWait(rng, 30*time.Microsecond, clientExo.CPUUtil*0.5, clientExo)
+
+	// RPC processing + network stack: per-call base plus per-byte
+	// serialization/compression/encryption work.
+	b[trace.ReqProcStack] = time.Duration((m.StackBase.Sample(rng) + float64(req)*perByteStack) * exo.SlowdownFactor())
+	b[trace.RespProcStack] = time.Duration((m.StackBase.Sample(rng)*0.8 + float64(resp)*perByteStack) * exo.SlowdownFactor())
+
+	// Network wire both ways; background network load tracks compute
+	// load diurnally.
+	netUtil := 0.2 + 0.6*exo.CPUUtil
+	b[trace.ReqNetworkWire] = g.Topo.WireOneWay(rng, client, server, req, netUtil)
+	b[trace.RespNetworkWire] = g.Topo.WireOneWay(rng, server, client, resp, netUtil)
+
+	// Outcome. Non-cancel errors from the mix; cancellations emerge from
+	// hedging below. Failed calls end early, truncating both their
+	// latency and the cycles they burned — which is why cancellations
+	// (which run nearly to completion before the winner lands) consume
+	// an out-sized share of wasted cycles in Fig. 23b.
+	code := trace.OK
+	errFrac := 1.0
+	if rng.Bool(m.ErrorRate * 0.55) {
+		code = g.nonCancel.Sample(rng)
+		errFrac = 0.1 + 0.5*rng.Float64()
+		for i := range b {
+			b[i] = time.Duration(float64(b[i]) * errFrac)
+		}
+		resp = 64
+	}
+
+	// CPU attribution.
+	appCPU := m.CPUCost.Sample(rng) * errFrac
+	jitter := 0.7 + 0.6*rng.Float64()
+	tax := appCPU * taxRate * jitter
+	g.Prof.Record(m.Service.Name, m.Name, gwp.Application, appCPU)
+	g.Prof.Record(m.Service.Name, m.Name, gwp.Compression, tax*compShare)
+	g.Prof.Record(m.Service.Name, m.Name, gwp.Networking, tax*netShare)
+	g.Prof.Record(m.Service.Name, m.Name, gwp.Serialization, tax*serShare)
+	g.Prof.Record(m.Service.Name, m.Name, gwp.RPCLibrary, tax*libShare)
+
+	span := &trace.Span{
+		TraceID:       tid,
+		SpanID:        spanID,
+		ParentID:      parent,
+		Method:        m.Name,
+		Service:       m.Service.Name,
+		ClientCluster: client.Name,
+		ServerCluster: server.Name,
+		Start:         at,
+		Breakdown:     b,
+		RequestBytes:  req,
+		ResponseBytes: resp,
+		CPUCycles:     appCPU + tax,
+		Err:           code,
+	}
+
+	// Hedging: some calls are issued twice; when the loser's
+	// cancellation is visible it appears as a Cancelled span that burned
+	// most of its cycles (the paper's §4.4 hedging economics).
+	hedged := rng.Bool(m.HedgeProb)
+	if hedged && rng.Bool(cancelPerHedge) && opts.Materialize && opts.Observe != nil && parent != 0 {
+		dup := *span
+		dup.SpanID = g.newSpanID()
+		dup.Hedged = true
+		dup.Err = trace.Cancelled
+		dupFrac := 0.4 + 0.6*rng.Float64()
+		for i := range dup.Breakdown {
+			dup.Breakdown[i] = time.Duration(float64(dup.Breakdown[i]) * dupFrac)
+		}
+		dup.CPUCycles = span.CPUCycles * (0.6 + 0.4*rng.Float64())
+		g.Prof.Record(m.Service.Name, m.Name, gwp.Application, dup.CPUCycles)
+		opts.Observe(CallObservation{
+			Span: &dup, Method: m, Server: server, Client: client, Exo: exo,
+			Descendants: 0, Ancestors: depth + 1,
+		})
+	}
+
+	rct := b.Total()
+	if opts.Observe != nil && (opts.Materialize || isRoot) {
+		opts.Observe(CallObservation{
+			Span: span, Method: m, Server: server, Client: client, Exo: exo,
+			Descendants: nodes - 1, Ancestors: depth,
+		})
+	}
+	return callResult{rct: rct, nodes: nodes}
+}
+
+// HedgedCancellation generates a standalone cancelled duplicate for a
+// method — used by volume runs where trees are not materialized but the
+// fleet-wide error mix still needs its hedging-induced cancellations.
+func (g *Generator) HedgedCancellation(m *fleet.Method, at time.Duration) *trace.Span {
+	obs := g.Call(m, CallOptions{At: at, MaxDepth: 1, Budget: 2})
+	span := obs.Span
+	span.Hedged = true
+	span.Err = trace.Cancelled
+	frac := 0.4 + 0.6*g.rng.Float64()
+	for i := range span.Breakdown {
+		span.Breakdown[i] = time.Duration(float64(span.Breakdown[i]) * frac)
+	}
+	return span
+}

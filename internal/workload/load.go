@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+
+	"rpcscale/internal/gwp"
+	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
+)
+
+// DatasetFromSpans rebuilds an analyzable Dataset from a flat span dump
+// (e.g., one written by cmd/fleetgen). The reconstruction is lossy
+// relative to a live generation run:
+//
+//   - every span is used both for per-method distributions and for the
+//     volume mix (a dump does not distinguish stratified from volume
+//     sampling);
+//   - descendant/ancestor samples come from reconstructed trees, so
+//     methods that only appear as isolated spans have sparse shape data;
+//   - exogenous observations and GWP category attribution are absent
+//     (the dump carries total cycles per span only), so Figs. 17/18/20
+//     are unavailable.
+//
+// Analyses that need the missing parts detect the absence and skip.
+func DatasetFromSpans(spans []*trace.Span) *Dataset {
+	ds := &Dataset{
+		MethodSpans:         make(map[string][]*trace.Span),
+		VolumeSpans:         spans,
+		DescendantsByMethod: make(map[string]*stats.Sample),
+		AncestorsByMethod:   make(map[string]*stats.Sample),
+		ExoByMethod:         make(map[string][]ExoObservation),
+	}
+	// Rebuild a coarse GWP profile from per-span cycle totals. The dump
+	// does not carry the tax-category split, so everything is attributed
+	// to Application; Fig. 8's cycles column works, Fig. 20 reports ~0.
+	prof := gwp.New()
+	for _, s := range spans {
+		ds.MethodSpans[s.Method] = append(ds.MethodSpans[s.Method], s)
+		if s.CPUCycles > 0 {
+			prof.Record(s.Service, s.Method, gwp.Application, s.CPUCycles)
+		}
+	}
+	ds.Profile = prof.Snapshot()
+	ds.Trees = trace.BuildTrees(spans)
+	for _, tr := range ds.Trees {
+		if tr.Spans < 2 {
+			continue // isolated spans carry no shape information
+		}
+		ds.TreeSpans = appendTreeSpans(ds.TreeSpans, tr.Root)
+		tr.Root.Walk(func(n *trace.Node, ancestors int) {
+			m := n.Span.Method
+			d := ds.DescendantsByMethod[m]
+			if d == nil {
+				d = stats.NewSample(0)
+				ds.DescendantsByMethod[m] = d
+			}
+			d.Add(float64(n.Descendants()))
+			a := ds.AncestorsByMethod[m]
+			if a == nil {
+				a = stats.NewSample(0)
+				ds.AncestorsByMethod[m] = a
+			}
+			a.Add(float64(ancestors))
+		})
+	}
+	return ds
+}
+
+func appendTreeSpans(out []*trace.Span, n *trace.Node) []*trace.Span {
+	out = append(out, n.Span)
+	for _, c := range n.Children {
+		out = appendTreeSpans(out, c)
+	}
+	return out
+}
+
+// LoadDataset reads a JSON-lines span dump and rebuilds a Dataset.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	spans, err := trace.ReadSpans(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("workload: span dump is empty")
+	}
+	return DatasetFromSpans(spans), nil
+}

@@ -1,0 +1,138 @@
+// Package rpcscale reproduces "A Cloud-Scale Characterization of Remote
+// Procedure Calls" (Seemakhupt et al., SOSP 2023) as a runnable system:
+// a Stubby-style RPC stack, Dapper-style tracing, Monarch-style
+// monitoring, GWP-style CPU profiling, and a discrete fleet simulator
+// with a method catalog calibrated to the paper's published anchors.
+//
+// This package is the public facade: it re-exports the stable entry
+// points of the internal packages so downstream users can build fleets,
+// generate datasets, and run the paper's analyses without reaching into
+// internal paths.
+//
+//	topo := rpcscale.NewTopology(rpcscale.DefaultTopologyConfig())
+//	cat := rpcscale.NewCatalog(rpcscale.CatalogConfig{Methods: 2000, Clusters: len(topo.Clusters), Seed: 1})
+//	ds := rpcscale.Generate(cat, topo, rpcscale.DefaultRunConfig())
+//	fmt.Print(rpcscale.Report(ds, rpcscale.ReportOptions{}))
+//
+// The real RPC stack (client channels, servers, hedging, tracing) is
+// exposed through the Stubby* aliases; see examples/quickstart.
+package rpcscale
+
+import (
+	"rpcscale/internal/core"
+	"rpcscale/internal/fleet"
+	"rpcscale/internal/monarch"
+	"rpcscale/internal/sim"
+	"rpcscale/internal/stubby"
+	"rpcscale/internal/trace"
+	"rpcscale/internal/workload"
+)
+
+// Fleet modeling.
+type (
+	// Topology is the simulated fleet: regions, datacenters, clusters.
+	Topology = sim.Topology
+	// TopologyConfig sizes a generated topology.
+	TopologyConfig = sim.TopologyConfig
+	// Catalog is the synthetic method catalog ("the fleet workload").
+	Catalog = fleet.Catalog
+	// CatalogConfig sizes a catalog.
+	CatalogConfig = fleet.Config
+	// Method is one RPC method with its behavioral models.
+	Method = fleet.Method
+	// Dataset is a generated study dataset (spans, trees, profiles).
+	Dataset = workload.Dataset
+	// RunConfig sizes a dataset generation run.
+	RunConfig = workload.RunConfig
+	// Generator produces spans for (method, cluster, time) triples.
+	Generator = workload.Generator
+	// ReportOptions selects what Report includes.
+	ReportOptions = core.ReportOptions
+	// MonarchDB is the time-series monitoring store.
+	MonarchDB = monarch.DB
+)
+
+// Tracing and the RPC stack.
+type (
+	// Span is one traced RPC with its nine-component breakdown.
+	Span = trace.Span
+	// Breakdown is the nine-component latency decomposition (Fig. 9).
+	Breakdown = trace.Breakdown
+	// Collector gathers spans with head-based sampling.
+	Collector = trace.Collector
+	// Channel is a client connection of the real RPC stack.
+	Channel = stubby.Channel
+	// Server is the real RPC stack's server.
+	Server = stubby.Server
+	// StubbyOptions configures the real stack.
+	StubbyOptions = stubby.Options
+	// Handler serves one RPC method on the real stack.
+	Handler = stubby.Handler
+	// StreamHandler serves a server-streaming method.
+	StreamHandler = stubby.StreamHandler
+	// ServerStream is the client's view of a server-streaming call.
+	ServerStream = stubby.ServerStream
+	// Pool is a client-side channel pool with failover and cross-replica
+	// hedging.
+	Pool = stubby.Pool
+	// RetryPolicy configures automatic retries of transient failures.
+	RetryPolicy = stubby.RetryPolicy
+	// ClientInterceptor wraps outgoing calls (see WithRetry).
+	ClientInterceptor = stubby.ClientInterceptor
+)
+
+// NewTopology generates a fleet topology.
+func NewTopology(cfg TopologyConfig) *Topology { return sim.NewTopology(cfg) }
+
+// DefaultTopologyConfig is a medium fleet (6 regions, 36 clusters).
+func DefaultTopologyConfig() TopologyConfig { return sim.DefaultTopology() }
+
+// NewCatalog generates a calibrated method catalog.
+func NewCatalog(cfg CatalogConfig) *Catalog { return fleet.New(cfg) }
+
+// DefaultCatalogConfig is the test-scale catalog (1000 methods).
+func DefaultCatalogConfig() CatalogConfig { return fleet.DefaultConfig() }
+
+// Generate runs the simulation pipeline and returns the study dataset.
+func Generate(cat *Catalog, topo *Topology, cfg RunConfig) *Dataset {
+	return workload.Generate(cat, topo, cfg)
+}
+
+// DefaultRunConfig is the fast test-scale run.
+func DefaultRunConfig() RunConfig { return workload.DefaultRun() }
+
+// NewGenerator builds a span generator for custom experiments.
+func NewGenerator(cat *Catalog, topo *Topology, seed uint64) *Generator {
+	return workload.NewGenerator(cat, topo, nil, seed)
+}
+
+// NewMonarch returns a monitoring DB with the paper's 30-minute window
+// and 700-day retention.
+func NewMonarch() *MonarchDB { return monarch.New(0, 0) }
+
+// Report runs every analysis of the study and renders the complete
+// figure-by-figure report.
+func Report(ds *Dataset, opts ReportOptions) string { return core.FullReport(ds, opts) }
+
+// NewCollector returns a span collector keeping 1-in-sampleEvery traces
+// up to capacity spans (0 = unbounded).
+func NewCollector(sampleEvery uint64, capacity int) *Collector {
+	return trace.NewCollector(sampleEvery, capacity)
+}
+
+// NewServer starts a real-stack RPC server (see examples/quickstart).
+func NewServer(opts StubbyOptions) *Server { return stubby.NewServer(opts) }
+
+// Dial connects a real-stack client channel to addr.
+func Dial(addr, serverCluster string, opts StubbyOptions) (*Channel, error) {
+	return stubby.Dial(addr, serverCluster, opts)
+}
+
+// NewPool dials a channel pool of the given size to addr.
+func NewPool(addr, serverCluster string, size int, opts StubbyOptions) (*Pool, error) {
+	return stubby.NewPool(addr, serverCluster, size, opts)
+}
+
+// WithRetry returns a client interceptor implementing the policy; apply
+// with Channel.Intercepted.
+func WithRetry(policy RetryPolicy) ClientInterceptor { return stubby.WithRetry(policy) }
