@@ -42,7 +42,7 @@ func fixture(b *testing.B) (*sim.Topology, *fleet.Catalog, *workload.Dataset) {
 	fixtureOnce.Do(func() {
 		fxTopo = sim.NewTopology(sim.DefaultTopology())
 		fxCat = fleet.New(fleet.Config{Methods: 600, Clusters: len(fxTopo.Clusters), Seed: 5})
-		fxDS = workload.Generate(fxCat, fxTopo, workload.RunConfig{
+		fxDS = workload.Generate(context.Background(), fxCat, fxTopo, workload.RunConfig{
 			Seed: 5, MethodSamples: 110, StudiedSamples: 1000,
 			VolumeRoots: 30000, Trees: 200, MaxDepth: 8, TreeBudget: 1200,
 		})

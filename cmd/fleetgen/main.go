@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"rpcscale/internal/fleet"
@@ -36,8 +38,13 @@ func main() {
 		MachinesPerCluster: 16, Seed: *seed,
 	})
 	cat := fleet.New(fleet.Config{Methods: *methods, Clusters: len(topo.Clusters), Seed: *seed})
+	// Ctrl-C stops generation at the next sample boundary; the partial
+	// dataset still gets written out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	ds := workload.Generate(cat, topo, workload.RunConfig{
+	ds := workload.Generate(ctx, cat, topo, workload.RunConfig{
 		Seed:          *seed,
 		MethodSamples: *samples,
 		VolumeRoots:   *volume,

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"rpcscale/internal/core"
@@ -55,8 +57,13 @@ func main() {
 	})
 	cat := fleet.New(fleet.Config{Methods: *methods, Clusters: len(topo.Clusters), Seed: *seed})
 
+	// Ctrl-C cancels generation at the next sample boundary; the report
+	// then runs over whatever the shards produced so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	fmt.Fprintf(os.Stderr, "simulating fleet traffic (%d volume samples)...\n", *volume)
-	ds := workload.Generate(cat, topo, workload.RunConfig{
+	ds := workload.Generate(ctx, cat, topo, workload.RunConfig{
 		Seed:          *seed,
 		MethodSamples: *samples,
 		VolumeRoots:   *volume,
@@ -64,7 +71,7 @@ func main() {
 	})
 
 	fmt.Fprintf(os.Stderr, "writing %d-day Monarch history...\n", *days)
-	db := monarch.New(30*time.Minute, time.Duration(*days+10)*24*time.Hour)
+	db := monarch.NewDB(monarch.WithRetention(time.Duration(*days+10) * 24 * time.Hour))
 	if err := workload.DeclareMetrics(db); err != nil {
 		fmt.Fprintln(os.Stderr, "monarch:", err)
 		os.Exit(1)

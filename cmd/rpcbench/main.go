@@ -1,57 +1,72 @@
 // Command rpcbench measures the real RPC stack on this machine: it starts
 // a Stubby-style server on a loopback TCP socket, drives it with unary
-// calls, and prints the measured nine-component latency breakdown and
-// cycle-proxy statistics — the live-hardware counterpart of the paper's
-// Figs. 9/10 methodology.
+// calls, and renders the study's figure-by-figure report from the live
+// telemetry plane — the same Monarch / Dapper / GWP pipeline the paper
+// mines, fed by real traffic instead of the simulator.
 //
 // Usage:
 //
 //	rpcbench [-n N] [-payload BYTES] [-conc N] [-compress] [-apptime D]
+//	         [-sample N] [-errorrate F] [-full]
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"sync"
 	"time"
 
-	"rpcscale/internal/compressor"
-	"rpcscale/internal/secure"
+	"rpcscale"
+
 	"rpcscale/internal/stats"
-	"rpcscale/internal/stubby"
 	"rpcscale/internal/trace"
 )
 
 func main() {
 	var (
-		n        = flag.Int("n", 20000, "number of calls")
-		payload  = flag.Int("payload", 1530, "request payload bytes (paper median)")
-		conc     = flag.Int("conc", 8, "concurrent callers")
-		compress = flag.Bool("compress", false, "enable flate compression")
-		appTime  = flag.Duration("apptime", 0, "simulated handler time (0 = echo only)")
+		n         = flag.Int("n", 20000, "number of calls")
+		payload   = flag.Int("payload", 1530, "request payload bytes (paper median)")
+		conc      = flag.Int("conc", 8, "concurrent callers")
+		compress  = flag.Bool("compress", false, "enable flate compression")
+		appTime   = flag.Duration("apptime", 0, "simulated handler time (0 = echo only)")
+		sample    = flag.Uint64("sample", 1, "trace 1-in-N calls (Monarch/GWP still see all)")
+		errorRate = flag.Float64("errorrate", 0, "fraction of calls the handler fails")
 	)
 	flag.Parse()
 
-	col := trace.NewCollector(1, 0)
-	cs := &compressor.Stats{}
-	es := &secure.Stats{}
-	opts := stubby.Options{
-		Collector:       col,
-		ClusterName:     "loopback",
-		CompressorStats: cs,
-		EncryptionStats: es,
-		Workers:         *conc,
+	// One plane observes both ends: spans, Monarch series, and GWP cycle
+	// attribution for every call flow through it.
+	plane := rpcscale.NewTelemetry(rpcscale.WithSampleEvery(*sample))
+
+	stack := []rpcscale.Option{
+		rpcscale.WithTelemetry(plane),
+		rpcscale.WithCluster("loopback"),
+		rpcscale.WithWorkers(*conc),
 	}
 	if *compress {
-		opts.Compression = compressor.Flate
+		stack = append(stack, rpcscale.WithCompression(rpcscale.CompressionFlate, 0))
 	}
 
-	srv := stubby.NewServer(opts)
+	srv := rpcscale.NewServer(stack...)
+	var calls uint64
+	var callMu sync.Mutex
 	srv.Register("bench.Echo/Echo", func(ctx context.Context, p []byte) ([]byte, error) {
+		if *errorRate > 0 {
+			callMu.Lock()
+			calls++
+			fail := rand.Float64() < *errorRate
+			callMu.Unlock()
+			if fail {
+				return nil, errors.New("injected failure")
+			}
+		}
 		if *appTime > 0 {
 			time.Sleep(*appTime)
 		}
@@ -65,7 +80,7 @@ func main() {
 	go srv.Serve(l)
 	defer srv.Close()
 
-	ch, err := stubby.Dial(l.Addr().String(), "loopback", opts)
+	ch, err := rpcscale.Dial(l.Addr().String(), stack...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -77,14 +92,18 @@ func main() {
 		req[i] = byte(i)
 	}
 
-	// Warm up connections and pools.
+	// Warm up connections and pools, then drop the warmup from the plane.
 	for i := 0; i < 100; i++ {
-		if _, err := ch.Call(context.Background(), "bench.Echo/Echo", req); err != nil {
+		if _, err := ch.Call(context.Background(), "bench.Echo/Echo", req); err != nil && *errorRate == 0 {
 			fmt.Fprintln(os.Stderr, "warmup:", err)
 			os.Exit(1)
 		}
 	}
-	col.Reset()
+	plane.Reset()
+
+	// Ctrl-C stops the drive loop; the report covers what ran.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -94,7 +113,10 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				if _, err := ch.Call(context.Background(), "bench.Echo/Echo", req); err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				if _, err := ch.Call(ctx, "bench.Echo/Echo", req); err != nil && *errorRate == 0 {
 					fmt.Fprintln(os.Stderr, "call:", err)
 					return
 				}
@@ -104,13 +126,38 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	spans := col.Spans()
-	fmt.Printf("rpcbench: %d calls, payload %dB, %d callers, compression=%v\n",
-		len(spans), *payload, *conc, *compress)
-	fmt.Printf("  throughput: %.0f RPC/s   wall: %v\n\n",
-		float64(len(spans))/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	spans := plane.Collector().Spans()
+	fmt.Printf("rpcbench: %d calls (%d traced), payload %dB, %d callers, compression=%v\n",
+		plane.Calls(), len(spans), *payload, *conc, *compress)
+	fmt.Printf("  throughput: %.0f RPC/s   wall: %v   errors: %d\n\n",
+		float64(plane.Calls())/elapsed.Seconds(), elapsed.Round(time.Millisecond), plane.Errors())
 
-	// Component distributions.
+	componentTable(spans)
+
+	cs := plane.CompressorStats()
+	if *compress {
+		fmt.Printf("\n  compression: %d calls, ratio %.2f\n", cs.CompressCalls.Load(), cs.Ratio())
+	}
+	es := plane.EncryptionStats()
+	fmt.Printf("  encryption: %d seals, %d bytes\n\n", es.Seals.Load(), es.BytesEncrypted.Load())
+
+	// Per-method Monarch series, straight from the plane's DB: the view a
+	// service owner would dashboard.
+	monarchSummary(plane)
+
+	// The study report over the live dataset. Sections that need the
+	// simulator (diurnal, cross-cluster, load-balance) are skipped because
+	// no Generator is supplied; span-derived figures run on real traffic.
+	ds := plane.Dataset()
+	fmt.Print(rpcscale.Report(ds, rpcscale.ReportOptions{DB: plane.Monarch()}))
+}
+
+// componentTable prints the measured nine-component breakdown (the
+// live-hardware counterpart of the paper's Figs. 9/10 methodology).
+func componentTable(spans []*trace.Span) {
+	if len(spans) == 0 {
+		return
+	}
 	comps := make([]*stats.Sample, trace.NumComponents)
 	total := stats.NewSample(len(spans))
 	var taxSum, totalSum float64
@@ -143,9 +190,57 @@ func main() {
 		time.Duration(int64(total.Quantile(0.5))).Round(time.Nanosecond),
 		time.Duration(int64(total.Quantile(0.95))).Round(time.Nanosecond),
 		time.Duration(int64(total.Quantile(0.99))).Round(time.Nanosecond))
-	fmt.Printf("\n  measured RPC latency tax: %.1f%% of completion time\n", 100*taxSum/totalSum)
-	if *compress {
-		fmt.Printf("  compression: %d calls, ratio %.2f\n", cs.CompressCalls.Load(), cs.Ratio())
+	if totalSum > 0 {
+		fmt.Printf("\n  measured RPC latency tax: %.1f%% of completion time\n", 100*taxSum/totalSum)
 	}
-	fmt.Printf("  encryption: %d seals, %d bytes\n", es.Seals.Load(), es.BytesEncrypted.Load())
+}
+
+// monarchSummary queries the plane's Monarch DB per method and prints
+// window-aligned counts and latency percentiles.
+func monarchSummary(plane *rpcscale.Plane) {
+	db := plane.Monarch()
+	now := time.Now()
+	from := now.Add(-24 * time.Hour)
+	fmt.Printf("  Monarch series (window %v):\n", db.Window())
+	fmt.Printf("  %-24s %10s %8s %12s %12s %12s\n",
+		"method", "calls", "errors", "P50", "P99", "windows")
+	counts := db.Query(rpcscale.MetricRPCCount, nil, from, now)
+	byMethod := map[string]float64{}
+	windows := map[string]int{}
+	for _, s := range counts {
+		m := s.Labels["method"]
+		for _, pt := range s.Points {
+			byMethod[m] += pt.Value
+		}
+		if len(s.Points) > windows[m] {
+			windows[m] = len(s.Points)
+		}
+	}
+	errs := map[string]float64{}
+	for _, s := range db.Query(rpcscale.MetricRPCErrors, nil, from, now) {
+		for _, pt := range s.Points {
+			errs[s.Labels["method"]] += pt.Value
+		}
+	}
+	methods := make([]string, 0, len(byMethod))
+	for m := range byMethod {
+		methods = append(methods, m)
+	}
+	sort.Slice(methods, func(a, b int) bool { return byMethod[methods[a]] > byMethod[methods[b]] })
+	for _, m := range methods {
+		lat := stats.NewLatencyHist()
+		for _, s := range db.Query(rpcscale.MetricLatency, rpcscale.Labels{"method": m}, from, now) {
+			for _, pt := range s.Points {
+				if pt.Dist != nil {
+					lat.Merge(pt.Dist)
+				}
+			}
+		}
+		fmt.Printf("  %-24s %10.0f %8.0f %12v %12v %12d\n",
+			m, byMethod[m], errs[m],
+			time.Duration(int64(lat.Quantile(0.5))).Round(time.Microsecond),
+			time.Duration(int64(lat.Quantile(0.99))).Round(time.Microsecond),
+			windows[m])
+	}
+	fmt.Println()
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -33,7 +34,7 @@ func main() {
 		cat.TopByPopularity(1)[0].Name, cat.TopByPopularity(1)[0].Popularity*100)
 
 	// 3. Simulate: spans, call trees, CPU profiles.
-	ds := workload.Generate(cat, topo, workload.RunConfig{
+	ds := workload.Generate(context.Background(), cat, topo, workload.RunConfig{
 		Seed: 7, MethodSamples: 110, StudiedSamples: 1200,
 		VolumeRoots: 50000, Trees: 400,
 	})
@@ -41,7 +42,7 @@ func main() {
 		len(ds.VolumeSpans), len(ds.Trees))
 
 	// 4. 700 days of Monarch counters for the growth analysis.
-	db := monarch.New(30*time.Minute, 710*24*time.Hour)
+	db := monarch.NewDB(monarch.WithRetention(710 * 24 * time.Hour))
 	if err := workload.DeclareMetrics(db); err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"time"
 
+	"rpcscale"
+
 	"rpcscale/internal/codec"
 	"rpcscale/internal/stubby"
 	"rpcscale/internal/trace"
@@ -85,11 +87,17 @@ func (kv *kvServer) set(ctx context.Context, payload []byte) ([]byte, error) {
 }
 
 func main() {
-	col := trace.NewCollector(1, 0)
-	opts := stubby.Options{Collector: col, ClusterName: "kv-demo", Workers: 16}
+	// One telemetry plane observes both endpoints: spans, Monarch series,
+	// and GWP attribution for every call, including hedged duplicates.
+	plane := rpcscale.NewTelemetry()
+	opts := []rpcscale.Option{
+		rpcscale.WithTelemetry(plane),
+		rpcscale.WithCluster("kv-demo"),
+		rpcscale.WithWorkers(16),
+	}
 
 	kv := &kvServer{data: make(map[string][]byte), slowEvery: 20}
-	srv := stubby.NewServer(opts)
+	srv := rpcscale.NewServer(opts...)
 	srv.Register("kvstore/Get", kv.get)
 	srv.Register("kvstore/Set", kv.set)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -99,7 +107,7 @@ func main() {
 	go srv.Serve(l)
 	defer srv.Close()
 
-	ch, err := stubby.Dial(l.Addr().String(), "kv-demo", opts)
+	ch, err := rpcscale.Dial(l.Addr().String(), opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -155,12 +163,24 @@ func main() {
 	fmt.Printf("  %-10s %12v %12v\n", "hedged", pct(hedged, 50).Round(time.Microsecond), pct(hedged, 99).Round(time.Microsecond))
 
 	// The cost: hedging produced cancelled duplicates (§4.4).
+	spans := plane.Collector().Spans()
 	var cancelled int
-	for _, s := range col.Spans() {
+	for _, s := range spans {
 		if s.Err == trace.Cancelled || s.Err == trace.DeadlineExceeded {
 			cancelled++
 		}
 	}
 	fmt.Printf("\nhedging side effect: %d cancelled/abandoned legs out of %d spans — the paper's most common error type\n",
-		cancelled, len(col.Spans()))
+		cancelled, len(spans))
+
+	// The same story from Monarch: error counts per code, per method.
+	db := plane.Monarch()
+	for _, s := range db.Query(rpcscale.MetricRPCErrors, rpcscale.Labels{"method": "kvstore/Get"},
+		time.Now().Add(-time.Hour), time.Now()) {
+		var n float64
+		for _, pt := range s.Points {
+			n += pt.Value
+		}
+		fmt.Printf("monarch rpc/errors{method=kvstore/Get, code=%s}: %.0f\n", s.Labels["code"], n)
+	}
 }

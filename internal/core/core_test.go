@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ import (
 var (
 	testTopo = sim.NewTopology(sim.DefaultTopology())
 	testCat  = fleet.New(fleet.Config{Methods: 500, Clusters: len(testTopo.Clusters), Seed: 21})
-	testDS   = workload.Generate(testCat, testTopo, workload.RunConfig{
+	testDS   = workload.Generate(context.Background(), testCat, testTopo, workload.RunConfig{
 		Seed: 21, MethodSamples: 120, StudiedSamples: 2500,
 		VolumeRoots: 40000, Trees: 300, MaxDepth: 8, TreeBudget: 1500,
 	})

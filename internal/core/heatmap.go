@@ -106,7 +106,9 @@ func (r *PerMethodResult) RenderHeatmap(width int) string {
 		b.WriteString("|\n")
 	}
 	fmt.Fprintf(&b, "  %10s +%s+\n", "", strings.Repeat("-", width))
-	fmt.Fprintf(&b, "  %10s  fast methods %s slow methods\n", "", strings.Repeat(" ", width-26))
+	if width >= 26 {
+		fmt.Fprintf(&b, "  %10s  fast methods %s slow methods\n", "", strings.Repeat(" ", width-26))
+	}
 	return b.String()
 }
 

@@ -138,25 +138,58 @@ const DefaultWindow = 30 * time.Minute
 // DefaultRetention is the paper's observation period.
 const DefaultRetention = 700 * 24 * time.Hour
 
-// New returns a DB with the given alignment window and retention. Zero
-// values select the paper's defaults.
-func New(window, retention time.Duration) *DB {
-	if window <= 0 {
-		window = DefaultWindow
+// Option configures a DB built with NewDB.
+type Option func(*DB)
+
+// WithWindow sets the sampling alignment grid. Non-positive values keep
+// the paper's 30-minute default.
+func WithWindow(d time.Duration) Option {
+	return func(db *DB) {
+		if d > 0 {
+			db.window = d
+		}
 	}
-	if retention <= 0 {
-		retention = DefaultRetention
+}
+
+// WithRetention sets how much history is kept before eviction.
+// Non-positive values keep the paper's 700-day default.
+func WithRetention(d time.Duration) Option {
+	return func(db *DB) {
+		if d > 0 {
+			db.retention = d
+		}
 	}
-	return &DB{
-		window:    window,
-		retention: retention,
+}
+
+// NewDB returns a monitoring DB. With no options it uses the paper's
+// 30-minute window and 700-day retention.
+func NewDB(opts ...Option) *DB {
+	db := &DB{
+		window:    DefaultWindow,
+		retention: DefaultRetention,
 		kinds:     make(map[string]Kind),
 		streams:   make(map[string]*stream),
 	}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// New returns a DB with the given alignment window and retention. Zero
+// values select the paper's defaults.
+//
+// Deprecated: use NewDB with WithWindow and WithRetention; the positional
+// form survives for existing callers.
+func New(window, retention time.Duration) *DB {
+	return NewDB(WithWindow(window), WithRetention(retention))
 }
 
 // Window returns the alignment grid.
 func (db *DB) Window() time.Duration { return db.window }
+
+// Retention reports the horizon beyond which points are dropped.
+func (db *DB) Retention() time.Duration { return db.retention }
 
 // Declare registers a metric with its kind. Writing an undeclared metric
 // is an error; redeclaring with a different kind is an error.

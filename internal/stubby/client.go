@@ -304,6 +304,9 @@ func (c *Channel) emit(span *trace.Span) error {
 	if c.opts.Collector != nil {
 		c.opts.Collector.Collect(span)
 	}
+	if c.opts.Telemetry != nil {
+		c.opts.Telemetry.Observe(span)
+	}
 	return nil
 }
 

@@ -8,6 +8,13 @@ import (
 	"rpcscale/internal/trace"
 )
 
+// SpanObserver receives every span the stack produces. It must be safe
+// for concurrent use; the caller may be any client goroutine.
+// *telemetry.Plane is the canonical implementation.
+type SpanObserver interface {
+	Observe(*trace.Span)
+}
+
 // Options configures a Channel or Server. The zero value is usable; New*
 // functions fill in defaults.
 type Options struct {
@@ -27,6 +34,13 @@ type Options struct {
 	// Collector receives a trace.Span for every completed call (client
 	// side) and every served request (server side). Nil disables tracing.
 	Collector *trace.Collector
+
+	// Telemetry is the observability plane's hook: it receives every
+	// span the stack produces, after the Collector. This is the single
+	// option through which internal/telemetry plugs Monarch export, GWP
+	// cycle attribution, and Dapper span retention into the stack; the
+	// stack itself stays ignorant of those systems. Nil disables it.
+	Telemetry SpanObserver
 
 	// ClusterName labels spans with the placement of this endpoint.
 	ClusterName string

@@ -1,0 +1,21 @@
+package telemetry
+
+import (
+	"rpcscale/internal/workload"
+)
+
+// Dataset assembles a workload.Dataset from the live telemetry: the
+// retained spans become the per-method and volume samples (via
+// workload.DatasetFromSpans, which also reconstructs call trees from
+// parent links), and the GWP profile is the plane's own attribution —
+// which saw every call, not just the sampled ones — so Fig. 20's cycle
+// tax is exact even under span sampling.
+//
+// The result feeds core.FullReport directly: the same figure-by-figure
+// pipeline that renders simulated fleets renders live traffic.
+func (p *Plane) Dataset() *workload.Dataset {
+	p.Flush()
+	ds := workload.DatasetFromSpans(p.col.Spans())
+	ds.Profile = p.prof.Snapshot()
+	return ds
+}

@@ -25,13 +25,43 @@ type Collector struct {
 	cap   int // 0 = unbounded
 }
 
+// CollectorOption configures a Collector built with New.
+type CollectorOption func(*Collector)
+
+// WithSampleEvery keeps 1-in-n traces (head-based, by trace ID). n <= 1
+// collects everything, which is the default.
+func WithSampleEvery(n uint64) CollectorOption {
+	return func(c *Collector) {
+		if n == 0 {
+			n = 1
+		}
+		c.sampleEvery = n
+	}
+}
+
+// WithCapacity bounds retained spans; past the bound, sampled spans are
+// counted in Overflow and dropped. 0 (the default) is unbounded.
+func WithCapacity(n int) CollectorOption {
+	return func(c *Collector) { c.cap = n }
+}
+
+// New returns a collector. With no options it collects every span of
+// every trace, unbounded.
+func New(opts ...CollectorOption) *Collector {
+	c := &Collector{sampleEvery: 1}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
 // NewCollector returns a collector that keeps every 1-in-sampleEvery
 // traces, retaining at most capacity spans (0 = unbounded).
+//
+// Deprecated: use New with WithSampleEvery and WithCapacity; the
+// positional form survives for existing callers.
 func NewCollector(sampleEvery uint64, capacity int) *Collector {
-	if sampleEvery == 0 {
-		sampleEvery = 1
-	}
-	return &Collector{sampleEvery: sampleEvery, cap: capacity}
+	return New(WithSampleEvery(sampleEvery), WithCapacity(capacity))
 }
 
 // Sampled reports whether spans of the given trace are retained. Callers

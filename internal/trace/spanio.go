@@ -27,8 +27,15 @@ type SpanRecord struct {
 	ReqBytes  int64   `json:"req_bytes"`
 	RespBytes int64   `json:"resp_bytes"`
 	CPUCycles float64 `json:"cpu_cycles,omitempty"`
-	Error     string  `json:"error,omitempty"`
-	Hedged    bool    `json:"hedged,omitempty"`
+
+	// CPUByCat is the per-category cycle split in gwp.Category order
+	// (Application, Compression, Networking, Serialization, RPCLibrary).
+	// Absent in dumps written before the split; readers fall back to
+	// attributing CPUCycles entirely to Application.
+	CPUByCat []float64 `json:"cpu_by_cat,omitempty"`
+
+	Error  string `json:"error,omitempty"`
+	Hedged bool   `json:"hedged,omitempty"`
 }
 
 // ToRecord converts a span to its serialization shape.
@@ -49,6 +56,9 @@ func ToRecord(s *Span) SpanRecord {
 	}
 	for i, d := range s.Breakdown {
 		r.Components[i] = int64(d)
+	}
+	if s.HasCPUSplit() {
+		r.CPUByCat = append([]float64(nil), s.CPUByCategory[:]...)
 	}
 	if s.Err.IsError() {
 		r.Error = s.Err.String()
@@ -74,6 +84,12 @@ func (r *SpanRecord) ToSpan() *Span {
 	}
 	for i, v := range r.Components {
 		s.Breakdown[i] = time.Duration(v)
+	}
+	for i, v := range r.CPUByCat {
+		if i >= len(s.CPUByCategory) {
+			break
+		}
+		s.CPUByCategory[i] = v
 	}
 	if r.Error != "" {
 		for code := ErrorCode(0); int(code) < NumErrorCodes; code++ {

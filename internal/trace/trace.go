@@ -11,6 +11,8 @@ package trace
 import (
 	"fmt"
 	"time"
+
+	"rpcscale/internal/gwp"
 )
 
 // Component indexes the nine latency components of an RPC, following
@@ -217,12 +219,29 @@ type Span struct {
 	// that not all Dapper samples carry CPU annotations.
 	CPUCycles float64
 
+	// CPUByCategory splits CPUCycles across the GWP taxonomy (Fig. 20),
+	// indexed by gwp.Category. An all-zero array means the sample carries
+	// only the total; consumers fall back to attributing everything to
+	// gwp.Application, as dumps written before the split did implicitly.
+	CPUByCategory [gwp.NumCategories]float64
+
 	Err    ErrorCode
 	Hedged bool // true if this call was a hedging duplicate
 }
 
 // Latency returns the RPC completion time.
 func (s *Span) Latency() time.Duration { return s.Breakdown.Total() }
+
+// HasCPUSplit reports whether the span carries the per-category cycle
+// attribution (as opposed to only a total in CPUCycles).
+func (s *Span) HasCPUSplit() bool {
+	for _, v := range s.CPUByCategory {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // SameCluster reports whether client and server were co-located in one
 // cluster — the filter used throughout §3.3.

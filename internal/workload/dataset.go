@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -132,7 +133,12 @@ type shardResult struct {
 // Output is deterministic for a fixed (Seed, Shards) pair: each shard's
 // stream depends only on its own derived seed, and shards are merged in
 // index order.
-func Generate(cat *fleet.Catalog, topo *sim.Topology, cfg RunConfig) *Dataset {
+//
+// Cancelling ctx stops every shard at its next sample boundary; the
+// partial dataset accumulated so far is still returned (and is still
+// deterministic up to the truncation point), so long runs can be
+// interrupted without losing everything.
+func Generate(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, cfg RunConfig) *Dataset {
 	cfg = cfg.withDefaults()
 	prof := gwp.New() // thread-safe; shared across shards
 
@@ -157,7 +163,7 @@ func Generate(cat *fleet.Catalog, topo *sim.Topology, cfg RunConfig) *Dataset {
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
-			results[shard] = runShard(cat, topo, prof, cfg, studied, roots, shard)
+			results[shard] = runShard(ctx, cat, topo, prof, cfg, studied, roots, shard)
 		}(shard)
 	}
 	wg.Wait()
@@ -195,8 +201,18 @@ func mergeSamples(dst, src map[string]*stats.Sample) {
 
 // runShard produces one shard's slice of the dataset: every method's
 // stratified samples are split across shards, as are the volume roots and
-// trees.
-func runShard(cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg RunConfig, studied map[string]bool, roots []*fleet.Method, shard int) shardResult {
+// trees. Cancellation is checked between samples, so a shard never tears
+// down a half-generated call tree.
+func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg RunConfig, studied map[string]bool, roots []*fleet.Method, shard int) shardResult {
+	done := ctx.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	gen := NewGeneratorShard(cat, topo, prof, cfg.Seed, shard)
 	rng := stats.NewRNG(cfg.Seed).Child(fmt.Sprintf("dataset-%d", shard))
 	r := shardResult{
@@ -236,6 +252,10 @@ func runShard(cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg Ru
 		n := share(total)
 		spans := make([]*trace.Span, 0, n)
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				r.methodSpans[m.Name] = spans
+				return r
+			}
 			at := time.Duration(rng.Float64() * float64(24*time.Hour))
 			obs := gen.Call(m, CallOptions{At: at, MaxDepth: cfg.MaxDepth, Budget: cfg.TreeBudget})
 			spans = append(spans, obs.Span)
@@ -251,6 +271,9 @@ func runShard(cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg Ru
 	nVolume := share(cfg.VolumeRoots)
 	r.volume = make([]*trace.Span, 0, nVolume+nVolume/50)
 	for i := 0; i < nVolume; i++ {
+		if cancelled() {
+			return r
+		}
 		m := cat.SampleMethod(rng)
 		at := time.Duration(rng.Float64() * float64(24*time.Hour))
 		// Volume samples skip deep recursion: the popularity model is
@@ -266,8 +289,11 @@ func runShard(cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg Ru
 	}
 
 	// --- Tree run: materialized call trees rooted at entry points. ---
-	collector := trace.NewCollector(1, 0)
+	collector := trace.New()
 	for i := 0; i < share(cfg.Trees); i++ {
+		if cancelled() {
+			break
+		}
 		m := roots[rng.Intn(len(roots))]
 		at := time.Duration(rng.Float64() * float64(24*time.Hour))
 		gen.Call(m, CallOptions{

@@ -341,15 +341,21 @@ func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Durati
 		resp = 64
 	}
 
-	// CPU attribution.
+	// CPU attribution. The per-category split rides on the span too, so
+	// datasets reconstructed from span dumps keep Fig. 20's taxonomy.
 	appCPU := m.CPUCost.Sample(rng) * errFrac
 	jitter := 0.7 + 0.6*rng.Float64()
 	tax := appCPU * taxRate * jitter
-	g.Prof.Record(m.Service.Name, m.Name, gwp.Application, appCPU)
-	g.Prof.Record(m.Service.Name, m.Name, gwp.Compression, tax*compShare)
-	g.Prof.Record(m.Service.Name, m.Name, gwp.Networking, tax*netShare)
-	g.Prof.Record(m.Service.Name, m.Name, gwp.Serialization, tax*serShare)
-	g.Prof.Record(m.Service.Name, m.Name, gwp.RPCLibrary, tax*libShare)
+	byCat := [gwp.NumCategories]float64{
+		gwp.Application:   appCPU,
+		gwp.Compression:   tax * compShare,
+		gwp.Networking:    tax * netShare,
+		gwp.Serialization: tax * serShare,
+		gwp.RPCLibrary:    tax * libShare,
+	}
+	for cat, cycles := range byCat {
+		g.Prof.Record(m.Service.Name, m.Name, gwp.Category(cat), cycles)
+	}
 
 	span := &trace.Span{
 		TraceID:       tid,
@@ -364,6 +370,7 @@ func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Durati
 		RequestBytes:  req,
 		ResponseBytes: resp,
 		CPUCycles:     appCPU + tax,
+		CPUByCategory: byCat,
 		Err:           code,
 	}
 
@@ -380,8 +387,12 @@ func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Durati
 		for i := range dup.Breakdown {
 			dup.Breakdown[i] = time.Duration(float64(dup.Breakdown[i]) * dupFrac)
 		}
-		dup.CPUCycles = span.CPUCycles * (0.6 + 0.4*rng.Float64())
-		g.Prof.Record(m.Service.Name, m.Name, gwp.Application, dup.CPUCycles)
+		dupCPU := 0.6 + 0.4*rng.Float64()
+		dup.CPUCycles = span.CPUCycles * dupCPU
+		for cat := range dup.CPUByCategory {
+			dup.CPUByCategory[cat] = span.CPUByCategory[cat] * dupCPU
+			g.Prof.Record(m.Service.Name, m.Name, gwp.Category(cat), dup.CPUByCategory[cat])
+		}
 		opts.Observe(CallObservation{
 			Span: &dup, Method: m, Server: server, Client: client, Exo: exo,
 			Descendants: 0, Ancestors: depth + 1,

@@ -18,9 +18,12 @@ import (
 //     sampling);
 //   - descendant/ancestor samples come from reconstructed trees, so
 //     methods that only appear as isolated spans have sparse shape data;
-//   - exogenous observations and GWP category attribution are absent
-//     (the dump carries total cycles per span only), so Figs. 17/18/20
-//     are unavailable.
+//   - exogenous observations are absent, so Figs. 17/18 are unavailable.
+//
+// GWP category attribution survives when spans carry the per-category
+// cycle split (cpu_by_cat in the dump schema); dumps written before the
+// split fall back to attributing all cycles to Application, in which
+// case Fig. 20 reports ~0 tax.
 //
 // Analyses that need the missing parts detect the absence and skip.
 func DatasetFromSpans(spans []*trace.Span) *Dataset {
@@ -31,13 +34,15 @@ func DatasetFromSpans(spans []*trace.Span) *Dataset {
 		AncestorsByMethod:   make(map[string]*stats.Sample),
 		ExoByMethod:         make(map[string][]ExoObservation),
 	}
-	// Rebuild a coarse GWP profile from per-span cycle totals. The dump
-	// does not carry the tax-category split, so everything is attributed
-	// to Application; Fig. 8's cycles column works, Fig. 20 reports ~0.
 	prof := gwp.New()
 	for _, s := range spans {
 		ds.MethodSpans[s.Method] = append(ds.MethodSpans[s.Method], s)
-		if s.CPUCycles > 0 {
+		switch {
+		case s.HasCPUSplit():
+			for cat, cycles := range s.CPUByCategory {
+				prof.Record(s.Service, s.Method, gwp.Category(cat), cycles)
+			}
+		case s.CPUCycles > 0:
 			prof.Record(s.Service, s.Method, gwp.Application, s.CPUCycles)
 		}
 	}

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -217,8 +218,29 @@ func TestCrossClusterWireLatency(t *testing.T) {
 	}
 }
 
+func TestGenerateCancellation(t *testing.T) {
+	// A pre-cancelled context stops every shard at its first sample
+	// boundary: the run returns promptly with far less than the full
+	// dataset, and what it does return is well-formed.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := RunConfig{
+		Seed: 1, MethodSamples: 50, StudiedSamples: 100,
+		VolumeRoots: 200000, Trees: 500, MaxDepth: 6, TreeBudget: 400,
+	}
+	ds := Generate(ctx, testCat, testTopo, cfg)
+	if got := len(ds.VolumeSpans); got >= cfg.VolumeRoots/10 {
+		t.Fatalf("cancelled run produced %d of %d volume spans — cancellation did not stop the shards", got, cfg.VolumeRoots)
+	}
+	for _, s := range ds.VolumeSpans {
+		if s.Method == "" {
+			t.Fatal("partial dataset contains an unfinished span")
+		}
+	}
+}
+
 func TestGenerateDataset(t *testing.T) {
-	ds := Generate(testCat, testTopo, RunConfig{
+	ds := Generate(context.Background(), testCat, testTopo, RunConfig{
 		Seed: 1, MethodSamples: 30, StudiedSamples: 100,
 		VolumeRoots: 4000, Trees: 60, MaxDepth: 6, TreeBudget: 400,
 	})
@@ -255,7 +277,7 @@ func TestGenerateDataset(t *testing.T) {
 }
 
 func TestVolumeMixMatchesPopularity(t *testing.T) {
-	ds := Generate(testCat, testTopo, RunConfig{
+	ds := Generate(context.Background(), testCat, testTopo, RunConfig{
 		Seed: 2, MethodSamples: 5, StudiedSamples: 5,
 		VolumeRoots: 30000, Trees: 10, MaxDepth: 3, TreeBudget: 100,
 	})
@@ -276,7 +298,7 @@ func TestVolumeMixMatchesPopularity(t *testing.T) {
 }
 
 func TestErrorMixInVolume(t *testing.T) {
-	ds := Generate(testCat, testTopo, RunConfig{
+	ds := Generate(context.Background(), testCat, testTopo, RunConfig{
 		Seed: 3, MethodSamples: 5, StudiedSamples: 5,
 		VolumeRoots: 60000, Trees: 10, MaxDepth: 3, TreeBudget: 100,
 	})
@@ -301,7 +323,7 @@ func TestErrorMixInVolume(t *testing.T) {
 }
 
 func TestCycleTaxShares(t *testing.T) {
-	ds := Generate(testCat, testTopo, RunConfig{
+	ds := Generate(context.Background(), testCat, testTopo, RunConfig{
 		Seed: 4, MethodSamples: 10, StudiedSamples: 10,
 		VolumeRoots: 10000, Trees: 20, MaxDepth: 4, TreeBudget: 200,
 	})
@@ -320,7 +342,7 @@ func TestCycleTaxShares(t *testing.T) {
 }
 
 func TestDescendantsWiderThanDeep(t *testing.T) {
-	ds := Generate(testCat, testTopo, RunConfig{
+	ds := Generate(context.Background(), testCat, testTopo, RunConfig{
 		Seed: 5, MethodSamples: 40, StudiedSamples: 40,
 		VolumeRoots: 2000, Trees: 150, MaxDepth: 8, TreeBudget: 2000,
 	})
@@ -456,7 +478,7 @@ func TestQueueHeavyServiceShape(t *testing.T) {
 }
 
 func TestLoadDatasetRoundTrip(t *testing.T) {
-	ds := Generate(testCat, testTopo, RunConfig{
+	ds := Generate(context.Background(), testCat, testTopo, RunConfig{
 		Seed: 31, MethodSamples: 10, StudiedSamples: 10,
 		VolumeRoots: 2000, Trees: 40, MaxDepth: 5, TreeBudget: 200,
 	})
@@ -541,7 +563,7 @@ func TestColocateBoostReducesCrossRate(t *testing.T) {
 }
 
 func TestExportMethodDistributions(t *testing.T) {
-	ds := Generate(testCat, testTopo, RunConfig{
+	ds := Generate(context.Background(), testCat, testTopo, RunConfig{
 		Seed: 41, MethodSamples: 10, StudiedSamples: 10,
 		VolumeRoots: 500, Trees: 5, MaxDepth: 3, TreeBudget: 50,
 	})

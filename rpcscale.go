@@ -9,21 +9,35 @@
 // generate datasets, and run the paper's analyses without reaching into
 // internal paths.
 //
+// Simulated fleets:
+//
 //	topo := rpcscale.NewTopology(rpcscale.DefaultTopologyConfig())
 //	cat := rpcscale.NewCatalog(rpcscale.CatalogConfig{Methods: 2000, Clusters: len(topo.Clusters), Seed: 1})
 //	ds := rpcscale.Generate(cat, topo, rpcscale.DefaultRunConfig())
 //	fmt.Print(rpcscale.Report(ds, rpcscale.ReportOptions{}))
 //
-// The real RPC stack (client channels, servers, hedging, tracing) is
-// exposed through the Stubby* aliases; see examples/quickstart.
+// Live traffic through the real stack, observed by the telemetry plane
+// (the paper's Monarch + Dapper + GWP trio over one RPC stack):
+//
+//	plane := rpcscale.NewTelemetry()
+//	srv := rpcscale.NewServer(rpcscale.WithTelemetry(plane), rpcscale.WithCluster("local"))
+//	srv.Register("greeter.Greeter/Hello", handler)
+//	ch, _ := rpcscale.Dial(addr, rpcscale.WithTelemetry(plane), rpcscale.WithCluster("local"))
+//	ch.Call(ctx, "greeter.Greeter/Hello", payload)
+//	fmt.Print(rpcscale.Report(plane.Dataset(), rpcscale.ReportOptions{}))
 package rpcscale
 
 import (
+	"context"
+	"time"
+
+	"rpcscale/internal/compressor"
 	"rpcscale/internal/core"
 	"rpcscale/internal/fleet"
 	"rpcscale/internal/monarch"
 	"rpcscale/internal/sim"
 	"rpcscale/internal/stubby"
+	"rpcscale/internal/telemetry"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/workload"
 )
@@ -52,7 +66,7 @@ type (
 	MonarchDB = monarch.DB
 )
 
-// Tracing and the RPC stack.
+// Tracing, telemetry, and the RPC stack.
 type (
 	// Span is one traced RPC with its nine-component breakdown.
 	Span = trace.Span
@@ -60,6 +74,12 @@ type (
 	Breakdown = trace.Breakdown
 	// Collector gathers spans with head-based sampling.
 	Collector = trace.Collector
+	// Plane is the unified observability plane over the real stack:
+	// Monarch time series, GWP cycle attribution, and Dapper span
+	// retention fed by every call (see NewTelemetry, WithTelemetry).
+	Plane = telemetry.Plane
+	// TelemetryOption configures a Plane built with NewTelemetry.
+	TelemetryOption = telemetry.Option
 	// Channel is a client connection of the real RPC stack.
 	Channel = stubby.Channel
 	// Server is the real RPC stack's server.
@@ -79,6 +99,16 @@ type (
 	RetryPolicy = stubby.RetryPolicy
 	// ClientInterceptor wraps outgoing calls (see WithRetry).
 	ClientInterceptor = stubby.ClientInterceptor
+	// ServerInterceptor wraps handler invocation on the server.
+	ServerInterceptor = stubby.ServerInterceptor
+	// Compression selects a payload compression algorithm.
+	Compression = compressor.Algorithm
+)
+
+// Compression algorithms for WithCompression.
+const (
+	CompressionNone  = compressor.None
+	CompressionFlate = compressor.Flate
 )
 
 // NewTopology generates a fleet topology.
@@ -94,8 +124,16 @@ func NewCatalog(cfg CatalogConfig) *Catalog { return fleet.New(cfg) }
 func DefaultCatalogConfig() CatalogConfig { return fleet.DefaultConfig() }
 
 // Generate runs the simulation pipeline and returns the study dataset.
+// It is the context-free convenience form of GenerateContext.
 func Generate(cat *Catalog, topo *Topology, cfg RunConfig) *Dataset {
-	return workload.Generate(cat, topo, cfg)
+	return workload.Generate(context.Background(), cat, topo, cfg)
+}
+
+// GenerateContext runs the simulation pipeline under a context: cancel it
+// to stop every generation shard at its next sample boundary and get the
+// partial dataset accumulated so far.
+func GenerateContext(ctx context.Context, cat *Catalog, topo *Topology, cfg RunConfig) *Dataset {
+	return workload.Generate(ctx, cat, topo, cfg)
 }
 
 // DefaultRunConfig is the fast test-scale run.
@@ -106,30 +144,226 @@ func NewGenerator(cat *Catalog, topo *Topology, seed uint64) *Generator {
 	return workload.NewGenerator(cat, topo, nil, seed)
 }
 
-// NewMonarch returns a monitoring DB with the paper's 30-minute window
-// and 700-day retention.
-func NewMonarch() *MonarchDB { return monarch.New(0, 0) }
-
 // Report runs every analysis of the study and renders the complete
 // figure-by-figure report.
 func Report(ds *Dataset, opts ReportOptions) string { return core.FullReport(ds, opts) }
 
+// --- Telemetry plane ---
+
+// NewTelemetry returns an observability plane: a Monarch DB on the
+// paper's 30-minute windows, a GWP profiler, a sampling span collector,
+// and the stack byte accounting, all fed by every call of any channel or
+// server carrying WithTelemetry(plane).
+func NewTelemetry(opts ...TelemetryOption) *Plane { return telemetry.New(opts...) }
+
+// WithWindow sets the plane's Monarch alignment window (default 30m).
+func WithWindow(d time.Duration) TelemetryOption { return telemetry.WithWindow(d) }
+
+// WithRetention sets the plane's Monarch retention (default 700 days).
+func WithRetention(d time.Duration) TelemetryOption { return telemetry.WithRetention(d) }
+
+// WithSampleEvery keeps 1-in-n traces in the plane's span store;
+// Monarch series and GWP attribution still see every call.
+func WithSampleEvery(n uint64) TelemetryOption { return telemetry.WithSampleEvery(n) }
+
+// WithSpanCapacity bounds the plane's retained spans (0 = unbounded).
+func WithSpanCapacity(n int) TelemetryOption { return telemetry.WithSpanCapacity(n) }
+
+// Labels selects Monarch series in MonarchDB.Query.
+type Labels = monarch.Labels
+
+// Metric names the telemetry plane exports to its Monarch DB; query them
+// with plane.Monarch().Query(metric, labels, from, to).
+const (
+	MetricRPCCount      = telemetry.MetricRPCCount      // Counter: service, method, client, server, code
+	MetricRPCErrors     = telemetry.MetricRPCErrors     // Counter: service, method, code
+	MetricLatency       = telemetry.MetricLatency       // Distribution (ns): service, method, cluster
+	MetricReqBytes      = telemetry.MetricReqBytes      // Distribution: service, method
+	MetricRespBytes     = telemetry.MetricRespBytes     // Distribution: service, method
+	MetricServerCount   = telemetry.MetricServerCount   // Counter: method, cluster
+	MetricServerApp     = telemetry.MetricServerApp     // Distribution (ns): method, cluster
+	MetricClientCalls   = telemetry.MetricClientCalls   // Counter: method, code
+	MetricClientLatency = telemetry.MetricClientLatency // Distribution (ns): method
+)
+
+// --- Monarch and collector constructors ---
+
+// MonarchOption configures NewMonarchDB.
+type MonarchOption = monarch.Option
+
+// NewMonarchDB returns a standalone monitoring DB (the plane owns its
+// own; this is for custom pipelines like the growth history).
+func NewMonarchDB(opts ...MonarchOption) *MonarchDB { return monarch.NewDB(opts...) }
+
+// WithMonarchWindow sets a standalone DB's alignment window.
+func WithMonarchWindow(d time.Duration) MonarchOption { return monarch.WithWindow(d) }
+
+// WithMonarchRetention sets a standalone DB's retention horizon.
+func WithMonarchRetention(d time.Duration) MonarchOption { return monarch.WithRetention(d) }
+
+// NewMonarch returns a monitoring DB with the paper's 30-minute window
+// and 700-day retention.
+//
+// Deprecated: use NewMonarchDB; its options make the window and
+// retention explicit.
+func NewMonarch() *MonarchDB { return monarch.NewDB() }
+
+// CollectorOption configures NewSpanCollector.
+type CollectorOption = trace.CollectorOption
+
+// NewSpanCollector returns a standalone span collector.
+func NewSpanCollector(opts ...CollectorOption) *Collector { return trace.New(opts...) }
+
+// WithCollectorSampleEvery keeps 1-in-n traces (head-based).
+func WithCollectorSampleEvery(n uint64) CollectorOption { return trace.WithSampleEvery(n) }
+
+// WithCollectorCapacity bounds retained spans (0 = unbounded).
+func WithCollectorCapacity(n int) CollectorOption { return trace.WithCapacity(n) }
+
 // NewCollector returns a span collector keeping 1-in-sampleEvery traces
 // up to capacity spans (0 = unbounded).
+//
+// Deprecated: use NewSpanCollector with WithCollectorSampleEvery and
+// WithCollectorCapacity, which name the magic numbers.
 func NewCollector(sampleEvery uint64, capacity int) *Collector {
 	return trace.NewCollector(sampleEvery, capacity)
 }
 
+// --- The real RPC stack ---
+
+// stackConfig is the resolved configuration of Dial / NewServer /
+// NewPool.
+type stackConfig struct {
+	opts          stubby.Options
+	serverCluster string
+	plane         *telemetry.Plane
+}
+
+// Option configures the real RPC stack's constructors (Dial, NewServer,
+// NewPool).
+type Option func(*stackConfig)
+
+// WithTelemetry plugs an observability plane into the endpoint: spans,
+// Monarch series, and GWP cycle attribution for every call flow into
+// plane. On servers it also installs the server-side interceptor.
+func WithTelemetry(p *Plane) Option {
+	return func(c *stackConfig) { c.plane = p }
+}
+
+// WithCluster labels this endpoint's placement (appears as the client or
+// server cluster on spans).
+func WithCluster(name string) Option {
+	return func(c *stackConfig) { c.opts.ClusterName = name }
+}
+
+// WithServerCluster labels the callee's placement on spans emitted by a
+// dialed channel. Defaults to the channel's own cluster (loopback).
+func WithServerCluster(name string) Option {
+	return func(c *stackConfig) { c.serverCluster = name }
+}
+
+// WithCompression enables payload compression. Payloads under threshold
+// bytes stay uncompressed (small RPCs lose more cycles than bytes);
+// threshold <= 0 keeps the 512-byte default.
+func WithCompression(algo Compression, threshold int) Option {
+	return func(c *stackConfig) {
+		c.opts.Compression = algo
+		if threshold > 0 {
+			c.opts.CompressThreshold = threshold
+		}
+	}
+}
+
+// WithCollector attaches a standalone span collector (independent of any
+// telemetry plane).
+func WithCollector(col *Collector) Option {
+	return func(c *stackConfig) { c.opts.Collector = col }
+}
+
+// WithWorkers sets the server handler pool size.
+func WithWorkers(n int) Option {
+	return func(c *stackConfig) { c.opts.Workers = n }
+}
+
+// WithQueueLens bounds the client send queue and the server receive
+// queue — where the paper's queuing latency lives. Zero keeps a default.
+func WithQueueLens(send, recv int) Option {
+	return func(c *stackConfig) {
+		c.opts.SendQueueLen = send
+		c.opts.RecvQueueLen = recv
+	}
+}
+
+// WithDefaultDeadline applies to calls whose context has no deadline.
+func WithDefaultDeadline(d time.Duration) Option {
+	return func(c *stackConfig) { c.opts.DefaultDeadline = d }
+}
+
+// WithSecret sets the pre-shared transport secret (both ends must agree).
+func WithSecret(secret []byte) Option {
+	return func(c *stackConfig) { c.opts.Secret = secret }
+}
+
+// WithStubbyOptions seeds the configuration from a full options struct;
+// later Options override its fields.
+func WithStubbyOptions(opts StubbyOptions) Option {
+	return func(c *stackConfig) { c.opts = opts }
+}
+
+// resolve applies the options and wires the plane in.
+func resolve(opts []Option) stackConfig {
+	var c stackConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.plane != nil {
+		c.opts = c.plane.Apply(c.opts)
+	}
+	if c.serverCluster == "" {
+		c.serverCluster = c.opts.ClusterName
+	}
+	return c
+}
+
 // NewServer starts a real-stack RPC server (see examples/quickstart).
-func NewServer(opts StubbyOptions) *Server { return stubby.NewServer(opts) }
+func NewServer(opts ...Option) *Server {
+	c := resolve(opts)
+	srv := stubby.NewServer(c.opts)
+	if c.plane != nil {
+		srv.Intercept(c.plane.ServerInterceptor(c.opts.ClusterName))
+	}
+	return srv
+}
 
 // Dial connects a real-stack client channel to addr.
-func Dial(addr, serverCluster string, opts StubbyOptions) (*Channel, error) {
-	return stubby.Dial(addr, serverCluster, opts)
+func Dial(addr string, opts ...Option) (*Channel, error) {
+	c := resolve(opts)
+	return stubby.Dial(addr, c.serverCluster, c.opts)
 }
 
 // NewPool dials a channel pool of the given size to addr.
-func NewPool(addr, serverCluster string, size int, opts StubbyOptions) (*Pool, error) {
+func NewPool(addr string, size int, opts ...Option) (*Pool, error) {
+	c := resolve(opts)
+	return stubby.NewPool(addr, c.serverCluster, size, c.opts)
+}
+
+// NewServerWithOptions starts a server from a bare options struct.
+//
+// Deprecated: use NewServer with functional options; WithStubbyOptions
+// covers fully custom structs.
+func NewServerWithOptions(opts StubbyOptions) *Server { return stubby.NewServer(opts) }
+
+// DialWithOptions connects a channel from a bare options struct.
+//
+// Deprecated: use Dial with functional options.
+func DialWithOptions(addr, serverCluster string, opts StubbyOptions) (*Channel, error) {
+	return stubby.Dial(addr, serverCluster, opts)
+}
+
+// NewPoolWithOptions dials a pool from a bare options struct.
+//
+// Deprecated: use NewPool with functional options.
+func NewPoolWithOptions(addr, serverCluster string, size int, opts StubbyOptions) (*Pool, error) {
 	return stubby.NewPool(addr, serverCluster, size, opts)
 }
 
