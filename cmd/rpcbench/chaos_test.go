@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Two runs with the same seed must render byte-identical reports. With
+// the budget off, worker interleaving is irrelevant even concurrently:
+// every fault decision keys on (callID, attempt), not arrival order.
+func TestChaosDeterministicConcurrent(t *testing.T) {
+	cfg := chaosConfig{Seed: 7, Calls: 600, Conc: 4, Deadline: 100 * time.Millisecond}
+	a, err := runChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report != b.Report {
+		t.Fatalf("same seed, different reports:\n--- run 1\n%s\n--- run 2\n%s", a.Report, b.Report)
+	}
+}
+
+// With the budget on, the shared token bucket is order-sensitive, so the
+// determinism guarantee holds at one worker.
+func TestChaosDeterministicSequentialWithBudget(t *testing.T) {
+	cfg := chaosConfig{Seed: 7, Calls: 600, Conc: 1, Budget: true, Deadline: 100 * time.Millisecond}
+	a, err := runChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runChaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report != b.Report {
+		t.Fatalf("same seed, different reports:\n--- run 1\n%s\n--- run 2\n%s", a.Report, b.Report)
+	}
+}
+
+// Different seeds must produce different fault schedules.
+func TestChaosSeedsDiffer(t *testing.T) {
+	a, err := runChaos(chaosConfig{Seed: 1, Calls: 600, Conc: 4, Deadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runChaos(chaosConfig{Seed: 2, Calls: 600, Conc: 4, Deadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report == b.Report {
+		t.Fatal("seeds 1 and 2 produced identical reports")
+	}
+}
+
+// The incident's reject storm must amplify traffic well past the budget
+// cap when no budget is set, and the budget must hold overall
+// amplification under its cap (1 + successCredit = 1.1) with slack for
+// the initial token burst.
+func TestChaosBudgetCapsAmplification(t *testing.T) {
+	uncapped, err := runChaos(chaosConfig{Seed: 7, Calls: 900, Conc: 3, Deadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if amp := uncapped.Amplification(phaseIncident); amp < 1.5 {
+		t.Fatalf("uncapped incident amplification = %.3f, want >= 1.5\n%s", amp, uncapped.Report)
+	}
+
+	capped, err := runChaos(chaosConfig{Seed: 7, Calls: 900, Conc: 3, Budget: true, Deadline: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budgetCap = 1.1 // NewRetryBudget(10, 0.1) in runChaos
+	if amp := capped.Amplification(-1); amp > budgetCap+0.05 {
+		t.Fatalf("budgeted overall amplification = %.3f, want <= %.2f\n%s", amp, budgetCap+0.05, capped.Report)
+	}
+	var suppressed uint64
+	for ph := 0; ph < numPhases; ph++ {
+		suppressed += capped.Tally.suppressed[ph]
+	}
+	if suppressed == 0 {
+		t.Fatalf("budget suppressed nothing under the incident:\n%s", capped.Report)
+	}
+	if !strings.Contains(capped.Report, "retry budget on") {
+		t.Fatal("report does not mention the budget")
+	}
+}
+
+// The integrity checksum must survive intact payloads and detect the
+// injector's corruption pattern.
+func TestChaosPayloadIntegrity(t *testing.T) {
+	p := chaosPayload(64)
+	if !chaosIntact(p) {
+		t.Fatal("fresh payload fails its own checksum")
+	}
+}

@@ -8,6 +8,16 @@
 //
 //	rpcbench [-n N] [-payload BYTES] [-conc N] [-compress] [-apptime D]
 //	         [-sample N] [-errorrate F] [-full]
+//	rpcbench -chaos [-seed N] [-budget] [-n N] [-conc N] [-payload BYTES]
+//
+// Chaos mode replaces the throughput bench with a deterministic
+// fault-injection scenario: a seeded fault schedule (rejects, drops,
+// delays, corruption, plus a mid-run overload incident) drives the
+// stack's retry and budget machinery, and the report shows the resulting
+// error-code distribution and retry amplification per phase. The same
+// seed reproduces the report byte for byte (with -budget, determinism
+// additionally requires -conc 1, since a shared token bucket is
+// order-sensitive).
 package main
 
 import (
@@ -38,8 +48,30 @@ func main() {
 		appTime   = flag.Duration("apptime", 0, "simulated handler time (0 = echo only)")
 		sample    = flag.Uint64("sample", 1, "trace 1-in-N calls (Monarch/GWP still see all)")
 		errorRate = flag.Float64("errorrate", 0, "fraction of calls the handler fails")
+		chaos     = flag.Bool("chaos", false, "run the deterministic fault-injection scenario instead")
+		seed      = flag.Uint64("seed", 42, "chaos fault schedule seed")
+		budget    = flag.Bool("budget", false, "chaos: cap retry amplification with a retry budget")
 	)
 	flag.Parse()
+
+	if *chaos {
+		res, err := runChaos(chaosConfig{
+			Seed:    *seed,
+			Calls:   *n,
+			Conc:    *conc,
+			Payload: *payload,
+			Budget:  *budget,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Report)
+		fmt.Printf("\n  wall (not seed-deterministic): %v, %.0f calls/s\n",
+			res.Elapsed.Round(time.Millisecond),
+			float64(*n)/res.Elapsed.Seconds())
+		return
+	}
 
 	// One plane observes both ends: spans, Monarch series, and GWP cycle
 	// attribution for every call flow through it.

@@ -1,0 +1,206 @@
+package faultplane
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"rpcscale/internal/trace"
+)
+
+func chaosConfig(seed uint64) Config {
+	return Config{
+		Seed: seed,
+		Rules: []Rule{{
+			RejectRate:  0.05,
+			DropRate:    0.01,
+			DelayRate:   0.05,
+			Delay:       2 * time.Millisecond,
+			DelayJitter: time.Millisecond,
+			CorruptRate: 0.02,
+		}},
+		Incidents: []Incident{{
+			Name: "overload",
+			From: 100, To: 200,
+			Rules: []Rule{{RejectRate: 0.5}},
+		}},
+	}
+}
+
+// Identical seeds must make identical decisions for identical keys.
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := New(chaosConfig(42))
+	b := New(chaosConfig(42))
+	for seq := uint64(0); seq < 500; seq++ {
+		for attempt := uint32(0); attempt < 3; attempt++ {
+			k := Key{Seq: seq, Have: true, Attempt: attempt}
+			da := a.Decide(ScopeServer, "svc.M/Call", k)
+			db := b.Decide(ScopeServer, "svc.M/Call", k)
+			if da != db {
+				t.Fatalf("seq %d attempt %d: %+v != %+v", seq, attempt, da, db)
+			}
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+// Decisions with explicit keys must not depend on the order or
+// concurrency with which they are requested.
+func TestInterleavingIndependence(t *testing.T) {
+	ref := New(chaosConfig(7))
+	want := make(map[uint64]Decision)
+	for seq := uint64(0); seq < 300; seq++ {
+		want[seq] = ref.Decide(ScopeClient, "svc.M/Call", Key{Seq: seq, Have: true})
+	}
+
+	inj := New(chaosConfig(7))
+	var wg sync.WaitGroup
+	errs := make(chan string, 300)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for seq := uint64(w); seq < 300; seq += 4 {
+				got := inj.Decide(ScopeClient, "svc.M/Call", Key{Seq: seq, Have: true})
+				if got != want[seq] {
+					errs <- "mismatch"
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if len(errs) > 0 {
+		t.Fatalf("%d concurrent decisions diverged from sequential reference", len(errs))
+	}
+}
+
+// Different seeds should produce different schedules.
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(chaosConfig(1)), New(chaosConfig(2))
+	same := 0
+	for seq := uint64(0); seq < 1000; seq++ {
+		k := Key{Seq: seq, Have: true}
+		if a.Decide(ScopeServer, "m", k) == b.Decide(ScopeServer, "m", k) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seeds 1 and 2 produced identical 1000-call schedules")
+	}
+}
+
+// Incident rules must fire only inside their window, and the observed
+// rate must track the configured one.
+func TestIncidentWindow(t *testing.T) {
+	inj := New(Config{
+		Seed:      3,
+		Incidents: []Incident{{From: 100, To: 200, Rules: []Rule{{RejectRate: 1}}}},
+	})
+	for seq := uint64(0); seq < 300; seq++ {
+		d := inj.Decide(ScopeServer, "m", Key{Seq: seq, Have: true})
+		in := seq >= 100 && seq < 200
+		if in && d.Reject != trace.Unavailable {
+			t.Fatalf("seq %d inside incident not rejected: %+v", seq, d)
+		}
+		if !in && d.Faulty() {
+			t.Fatalf("seq %d outside incident faulted: %+v", seq, d)
+		}
+	}
+}
+
+// Configured rates should be hit within sampling error.
+func TestRatesApproximate(t *testing.T) {
+	inj := New(Config{Seed: 11, Rules: []Rule{{RejectRate: 0.2}}})
+	n, hits := 20000, 0
+	for seq := 0; seq < n; seq++ {
+		if inj.Decide(ScopeClient, "m", Key{Seq: uint64(seq), Have: true}).Reject != trace.OK {
+			hits++
+		}
+	}
+	got := float64(hits) / float64(n)
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("reject rate %.3f, want ~0.2", got)
+	}
+}
+
+// Method patterns: exact, prefix, and wildcard.
+func TestMethodMatching(t *testing.T) {
+	cases := []struct {
+		pattern, method string
+		want            bool
+	}{
+		{"", "a.B/C", true},
+		{"*", "a.B/C", true},
+		{"a.B/C", "a.B/C", true},
+		{"a.B/C", "a.B/D", false},
+		{"a.B/*", "a.B/C", true},
+		{"a.B/*", "x.Y/Z", false},
+	}
+	for _, c := range cases {
+		r := Rule{Methods: c.pattern}
+		if got := r.matches(c.method); got != c.want {
+			t.Errorf("pattern %q method %q: got %v want %v", c.pattern, c.method, got, c.want)
+		}
+	}
+}
+
+// Scopes draw from independent streams: the same key in different
+// scopes should not always agree.
+func TestScopeIndependence(t *testing.T) {
+	inj := New(Config{Seed: 9, Rules: []Rule{{RejectRate: 0.5}}})
+	same := 0
+	for seq := uint64(0); seq < 1000; seq++ {
+		k := Key{Seq: seq, Have: true}
+		c := inj.Decide(ScopeClient, "m", k).Reject != trace.OK
+		s := inj.Decide(ScopeServer, "m", k).Reject != trace.OK
+		if c == s {
+			same++
+		}
+	}
+	if same > 600 || same < 400 {
+		t.Fatalf("client and server streams agree %d/1000 times; want ~500", same)
+	}
+}
+
+// Without an explicit key the fallback sequence keeps sequential runs
+// deterministic.
+func TestFallbackSequence(t *testing.T) {
+	a, b := New(chaosConfig(5)), New(chaosConfig(5))
+	for i := 0; i < 200; i++ {
+		da := a.Decide(ScopeServer, "m", Key{})
+		db := b.Decide(ScopeServer, "m", Key{})
+		if da != db {
+			t.Fatalf("call %d: %+v != %+v", i, da, db)
+		}
+	}
+}
+
+// A rejected attempt reports no other actions.
+func TestRejectShadowsOthers(t *testing.T) {
+	inj := New(Config{Seed: 1, Rules: []Rule{{
+		RejectRate: 1, DropRate: 1, DelayRate: 1, Delay: time.Second, CorruptRate: 1,
+	}}})
+	d := inj.Decide(ScopeServer, "m", Key{Seq: 0, Have: true})
+	if d.Reject != trace.Unavailable || d.Drop || d.Delay != 0 || d.Corrupt {
+		t.Fatalf("reject should shadow other actions: %+v", d)
+	}
+}
+
+func TestCorruptPayloadDetectable(t *testing.T) {
+	p := make([]byte, 64)
+	orig := append([]byte(nil), p...)
+	CorruptPayload(p)
+	diff := 0
+	for i := range p {
+		if p[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("CorruptPayload changed nothing")
+	}
+	CorruptPayload(nil) // must not panic
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rpcscale/internal/compressor"
+	"rpcscale/internal/faultplane"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/wire"
 )
@@ -23,6 +24,12 @@ type Channel struct {
 	serverCluster string
 	tr            *transport
 	comp          *compressor.Compressor
+
+	// invoke is the configured call path: the raw attempt wrapped by the
+	// retry layer (Options.Retry) and the circuit breaker
+	// (Options.Breaker), when enabled. Call goes through it.
+	invoke  CallFunc
+	breaker *Breaker
 
 	sendQ      chan *clientCall
 	nextStream atomic.Uint64
@@ -46,6 +53,7 @@ type clientCall struct {
 	req      *request
 	streamID uint64
 	payload  []byte // uncompressed request payload (for size accounting)
+	dropped  bool   // fault plane: swallow the request instead of sending
 	enqueued time.Time
 	// deqAt and sentAt are written by the sender goroutine while the
 	// calling goroutine may be timing out concurrently, so they are
@@ -95,6 +103,20 @@ func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, er
 		pending:       make(map[uint64]*clientCall),
 		closed:        make(chan struct{}),
 	}
+	c.invoke = func(ctx context.Context, method string, payload []byte) ([]byte, error) {
+		return c.call(ctx, method, payload, false)
+	}
+	if o.Retry != nil {
+		policy, obs, inner := *o.Retry, o.Robustness, c.invoke
+		c.invoke = func(ctx context.Context, method string, payload []byte) ([]byte, error) {
+			return retryCall(ctx, method, payload, policy, obs, inner)
+		}
+	}
+	if o.Breaker != nil {
+		// Breaker outside retry: an open circuit spends no attempts.
+		c.breaker = NewBreaker(*o.Breaker, o.Robustness)
+		c.invoke = c.breaker.Wrap(c.invoke)
+	}
 	c.loops.Add(2)
 	go c.sendLoop()
 	go c.readLoop()
@@ -102,10 +124,16 @@ func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, er
 }
 
 // Call issues a unary RPC and blocks for the response, the context's
-// cancellation, or the deadline.
+// cancellation, or the deadline. When the channel was configured with
+// Options.Retry or Options.Breaker, Call goes through those layers;
+// CallHedged and hand-built interceptor chains bypass them.
 func (c *Channel) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
-	return c.call(ctx, method, payload, false)
+	return c.invoke(ctx, method, payload)
 }
+
+// Breaker returns the channel's circuit breaker, nil unless
+// Options.Breaker was set.
+func (c *Channel) Breaker() *Breaker { return c.breaker }
 
 func (c *Channel) call(ctx context.Context, method string, payload []byte, hedged bool) ([]byte, error) {
 	// Resolve tracing state: child span of the caller, or a new root.
@@ -119,6 +147,44 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 		tc.TraceID = nextTraceID()
 	}
 
+	// Identify the attempt for the fault plane and server-side retry
+	// accounting: the driver-assigned call ID (if any) plus the retry
+	// attempt number, with hedged legs marked so they draw independent
+	// fault decisions.
+	attempt := attemptFromContext(ctx)
+	if hedged {
+		attempt |= hedgeAttemptBit
+	}
+	callID, haveID := CallIDFromContext(ctx)
+
+	var dec faultplane.Decision
+	if c.opts.Faults != nil {
+		dec = c.opts.Faults.Decide(faultplane.ScopeClient, method,
+			faultplane.Key{Seq: callID, Have: haveID, Attempt: attempt})
+		if dec.Reject != trace.OK {
+			return nil, c.finish(nil, method, tc, parentSpan, payload, nil, dec.Reject, hedged)
+		}
+		if dec.Delay > 0 {
+			// The injected delay runs in the caller's goroutine (not the
+			// sender's) so concurrent calls do not serialize behind it.
+			t := time.NewTimer(dec.Delay)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, c.finish(nil, method, tc, parentSpan, payload, nil, cancelCode(ctx), hedged)
+			case <-c.closed:
+				t.Stop()
+				return nil, c.finish(nil, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
+			}
+		}
+		if dec.Corrupt {
+			// Mangle a copy; the caller's buffer may be reused.
+			payload = append([]byte(nil), payload...)
+			faultplane.CorruptPayload(payload)
+		}
+	}
+
 	deadline := c.opts.DefaultDeadline
 	if dl, has := ctx.Deadline(); has {
 		deadline = time.Until(dl)
@@ -127,6 +193,10 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 		return nil, c.finish(nil, method, tc, parentSpan, payload, nil, trace.DeadlineExceeded, hedged)
 	}
 
+	var callSeq uint64
+	if haveID {
+		callSeq = callID + 1
+	}
 	call := &clientCall{
 		req: &request{
 			Method:     method,
@@ -136,8 +206,11 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 			Deadline:   deadline,
 			Payload:    payload,
 			Hedged:     hedged,
+			CallSeq:    callSeq,
+			Attempt:    attempt,
 		},
 		payload:  payload,
+		dropped:  dec.Drop,
 		enqueued: time.Now(),
 		resultCh: make(chan *callResult, 1),
 	}
@@ -328,6 +401,12 @@ func (c *Channel) sendLoop() {
 		case call := <-c.sendQ:
 			now := time.Now()
 			call.deqAt.Store(&now)
+			if call.dropped {
+				// Fault plane: the request vanishes. The call stays
+				// pending until its deadline expires, exactly like a
+				// packet lost past the transport's visibility.
+				continue
+			}
 			req := call.req
 			if c.opts.Compression != compressor.None && len(req.Payload) >= c.opts.CompressThreshold {
 				if compressed, err := c.comp.Compress(req.Payload); err == nil && len(compressed) < len(req.Payload) {

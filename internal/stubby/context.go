@@ -18,6 +18,46 @@ type TraceContext struct {
 
 type traceCtxKey struct{}
 
+// callIDCtxKey carries the logical call ID a driver assigned to this
+// call; attemptCtxKey carries the retry attempt number.
+type (
+	callIDCtxKey  struct{}
+	attemptCtxKey struct{}
+)
+
+// ContextWithCallID tags a context with a driver-assigned logical call
+// ID. The ID travels in the request envelope and keys the fault plane's
+// decisions, so a driver that assigns IDs deterministically (rpcbench's
+// chaos mode numbers worker w's i-th call w*per+i) gets fault schedules
+// that replay identically regardless of goroutine interleaving.
+func ContextWithCallID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, callIDCtxKey{}, id)
+}
+
+// CallIDFromContext extracts the logical call ID, reporting whether one
+// was assigned.
+func CallIDFromContext(ctx context.Context) (uint64, bool) {
+	id, ok := ctx.Value(callIDCtxKey{}).(uint64)
+	return id, ok
+}
+
+// contextWithAttempt records the retry attempt number (0 = first try);
+// the retry layer sets it so the fault plane can key per-attempt
+// decisions.
+func contextWithAttempt(ctx context.Context, attempt uint32) context.Context {
+	return context.WithValue(ctx, attemptCtxKey{}, attempt)
+}
+
+// attemptFromContext extracts the retry attempt number (0 when unset).
+func attemptFromContext(ctx context.Context) uint32 {
+	a, _ := ctx.Value(attemptCtxKey{}).(uint32)
+	return a
+}
+
+// hedgeAttemptBit marks a hedged leg's attempt key so primary and hedge
+// draw from independent fault-decision streams.
+const hedgeAttemptBit uint32 = 1 << 31
+
 // ContextWithTrace attaches tracing state to a context.
 func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
 	return context.WithValue(ctx, traceCtxKey{}, tc)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"rpcscale/internal/compressor"
+	"rpcscale/internal/faultplane"
 	"rpcscale/internal/secure"
 	"rpcscale/internal/trace"
 )
@@ -14,6 +15,28 @@ import (
 type SpanObserver interface {
 	Observe(*trace.Span)
 }
+
+// RobustnessObserver receives the robustness layer's events: retries the
+// budget admitted or refused, circuit-breaker state transitions, and
+// calls the server shed under load. It must be safe for concurrent use;
+// *telemetry.Plane is the canonical implementation (the counters behind
+// rpcbench's chaos report).
+type RobustnessObserver interface {
+	RetryAttempt(method string)
+	RetrySuppressed(method string)
+	BreakerTransition(method string, from, to BreakerState)
+	CallShed(method string)
+}
+
+// NopRobustnessObserver ignores every robustness event. Set it on
+// Options.Robustness to keep telemetry.Plane.Apply from installing the
+// plane there.
+type NopRobustnessObserver struct{}
+
+func (NopRobustnessObserver) RetryAttempt(string)                                  {}
+func (NopRobustnessObserver) RetrySuppressed(string)                               {}
+func (NopRobustnessObserver) BreakerTransition(string, BreakerState, BreakerState) {}
+func (NopRobustnessObserver) CallShed(string)                                      {}
 
 // Options configures a Channel or Server. The zero value is usable; New*
 // functions fill in defaults.
@@ -57,6 +80,35 @@ type Options struct {
 
 	// DefaultDeadline applies to calls whose context has none.
 	DefaultDeadline time.Duration
+
+	// Faults attaches a deterministic fault injector to this endpoint:
+	// channels consult it with ScopeClient before each attempt, servers
+	// with ScopeServer before each handled request. Nil disables
+	// injection (the default; production paths never pay for it).
+	Faults *faultplane.Injector
+
+	// Retry, when non-nil, makes the channel retry transient failures
+	// itself per the policy — the managed-service placement of retry
+	// logic, instead of every caller hand-rolling it. Give the policy a
+	// Budget to cap retry amplification under overload.
+	Retry *RetryPolicy
+
+	// Breaker, when non-nil, gives the channel a circuit breaker with
+	// this configuration, tracking state per (channel, method). The
+	// breaker sits outside the retry layer: an open circuit fails fast
+	// without spending any attempts.
+	Breaker *BreakerConfig
+
+	// ShedThreshold enables server-side load shedding: when the receive
+	// queue holds at least this many requests, new arrivals are rejected
+	// immediately with Unavailable instead of queuing toward a deadline
+	// they would miss anyway. 0 disables (the default); the hard
+	// queue-full NoResource rejection applies regardless.
+	ShedThreshold int
+
+	// Robustness observes retry, breaker, and shedding events. Nil
+	// disables (telemetry.Plane.Apply installs itself here).
+	Robustness RobustnessObserver
 }
 
 var defaultSecret = []byte("rpcscale-development-psk")

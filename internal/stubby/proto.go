@@ -22,6 +22,8 @@ const (
 	reqPayload    = 6
 	reqCompressed = 7
 	reqHedged     = 8
+	reqCallSeq    = 9
+	reqAttempt    = 10
 )
 
 // Response envelope field numbers.
@@ -47,6 +49,8 @@ var requestDesc = codec.MustDescriptor("stubby.Request",
 	codec.Field{Number: reqPayload, Name: "payload", Type: codec.TypeBytes},
 	codec.Field{Number: reqCompressed, Name: "compressed", Type: codec.TypeBool},
 	codec.Field{Number: reqHedged, Name: "hedged", Type: codec.TypeBool},
+	codec.Field{Number: reqCallSeq, Name: "call_seq", Type: codec.TypeUint64},
+	codec.Field{Number: reqAttempt, Name: "attempt", Type: codec.TypeUint64},
 )
 
 var responseDesc = codec.MustDescriptor("stubby.Response",
@@ -72,6 +76,12 @@ type request struct {
 	Payload    []byte
 	Compressed bool
 	Hedged     bool
+	// CallSeq carries the caller's logical call ID plus one (0 = no ID
+	// assigned); Attempt is the retry attempt number with the hedge bit.
+	// Together they key the server-side fault plane's deterministic
+	// decisions and let servers account retry amplification.
+	CallSeq uint64
+	Attempt uint32
 }
 
 func (r *request) marshal() ([]byte, error) {
@@ -92,6 +102,12 @@ func (r *request) marshal() ([]byte, error) {
 	if r.Hedged {
 		m.Set(reqHedged, true)
 	}
+	if r.CallSeq != 0 {
+		m.Set(reqCallSeq, r.CallSeq)
+	}
+	if r.Attempt != 0 {
+		m.Set(reqAttempt, uint64(r.Attempt))
+	}
 	return codec.Marshal(m)
 }
 
@@ -109,6 +125,8 @@ func parseRequest(buf []byte) (*request, error) {
 		Payload:    m.GetBytes(reqPayload),
 		Compressed: m.GetBool(reqCompressed),
 		Hedged:     m.GetBool(reqHedged),
+		CallSeq:    m.GetUint64(reqCallSeq),
+		Attempt:    uint32(m.GetUint64(reqAttempt)),
 	}, nil
 }
 

@@ -42,6 +42,11 @@ type RetryPolicy struct {
 	// default transient set (Unavailable, NoResource, DeadlineExceeded
 	// excluded — the deadline is gone).
 	RetryableCodes []trace.ErrorCode
+	// Budget, when non-nil, caps retry amplification: every attempt
+	// outcome feeds the token bucket and a retry is only issued while
+	// the budget allows it. Share one budget across the channels of a
+	// pool so the cap covers the aggregate stream.
+	Budget *RetryBudget
 }
 
 // DefaultRetryPolicy retries transient failures up to 3 attempts.
@@ -65,36 +70,72 @@ func (p RetryPolicy) retryable(code trace.ErrorCode) bool {
 	return false
 }
 
+// nextBackoff advances an exponential backoff: the delay doubles per
+// attempt and saturates at max (when max > 0).
+func nextBackoff(cur, max time.Duration) time.Duration {
+	next := cur * 2
+	if max > 0 && next > max {
+		next = max
+	}
+	return next
+}
+
 // WithRetry returns a client interceptor implementing the policy.
 func WithRetry(policy RetryPolicy) ClientInterceptor {
+	return WithRetryObserved(policy, nil)
+}
+
+// WithRetryObserved is WithRetry with retry admissions and budget
+// suppressions reported to obs (nil disables reporting).
+func WithRetryObserved(policy RetryPolicy, obs RobustnessObserver) ClientInterceptor {
 	return func(ctx context.Context, method string, payload []byte, next CallFunc) ([]byte, error) {
-		var lastErr error
-		backoff := policy.BaseBackoff
-		attempts := policy.MaxAttempts
-		if attempts < 1 {
-			attempts = 1
-		}
-		for attempt := 0; attempt < attempts; attempt++ {
-			if attempt > 0 {
-				select {
-				case <-time.After(backoff):
-				case <-ctx.Done():
-					return nil, codeToError(cancelCode(ctx))
-				}
-				backoff *= 2
-				if policy.MaxBackoff > 0 && backoff > policy.MaxBackoff {
-					backoff = policy.MaxBackoff
-				}
-			}
-			out, err := next(ctx, method, payload)
-			if err == nil {
-				return out, nil
-			}
-			lastErr = err
-			if !policy.retryable(Code(err)) {
-				return nil, err
-			}
-		}
-		return nil, lastErr
+		return retryCall(ctx, method, payload, policy, obs, next)
 	}
+}
+
+// retryCall runs the retry loop shared by the interceptor form and the
+// channel-integrated form (Options.Retry). Each attempt's number is
+// published in the context so the fault plane can key per-attempt
+// decisions; each outcome feeds the budget when one is configured.
+func retryCall(ctx context.Context, method string, payload []byte, policy RetryPolicy, obs RobustnessObserver, next CallFunc) ([]byte, error) {
+	var lastErr error
+	backoff := policy.BaseBackoff
+	attempts := policy.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, codeToError(cancelCode(ctx))
+			}
+			backoff = nextBackoff(backoff, policy.MaxBackoff)
+		}
+		out, err := next(contextWithAttempt(ctx, uint32(attempt)), method, payload)
+		if policy.Budget != nil {
+			policy.Budget.OnOutcome(err != nil)
+		}
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !policy.retryable(Code(err)) {
+			return nil, err
+		}
+		if attempt+1 >= attempts {
+			break
+		}
+		if policy.Budget != nil && !policy.Budget.AllowRetry() {
+			if obs != nil {
+				obs.RetrySuppressed(method)
+			}
+			return nil, lastErr
+		}
+		if obs != nil {
+			obs.RetryAttempt(method)
+		}
+	}
+	return nil, lastErr
 }

@@ -4,12 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
 
 	"rpcscale/internal/compressor"
+	"rpcscale/internal/faultplane"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/wire"
 )
@@ -168,13 +168,21 @@ func (s *Server) readLoop(sc *serverConn) {
 	for {
 		f, plain, err := sc.tr.recv()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection-level failure; nothing to salvage.
-			}
+			// EOF, a closed socket, or a connection-level failure;
+			// nothing to salvage either way.
 			return
 		}
 		switch f.Type {
 		case wire.FrameRequest:
+			if t := s.opts.ShedThreshold; t > 0 && len(s.recvQ) >= t {
+				// Load shedding: past the configured queue depth, new
+				// arrivals would only queue toward deadlines they will
+				// miss, so reject them immediately with Unavailable —
+				// the fail-fast overload posture the paper's §7 retry
+				// analysis assumes servers adopt.
+				s.shed(sc, f.StreamID, plain)
+				continue
+			}
 			call := &serverCall{
 				conn:     sc,
 				streamID: f.StreamID,
@@ -200,6 +208,21 @@ func (s *Server) readLoop(sc *serverConn) {
 			return
 		}
 	}
+}
+
+// shed rejects one request at the shedding threshold. The envelope is
+// parsed only on this (rare, already-failing) path so the shed counter
+// can be attributed to a method; the request is not decompressed.
+func (s *Server) shed(sc *serverConn, streamID uint64, plain []byte) {
+	s.reject(sc, streamID, trace.Unavailable, "server overloaded: load shed")
+	if s.opts.Robustness == nil {
+		return
+	}
+	method := ""
+	if req, err := parseRequest(plain); err == nil {
+		method = req.Method
+	}
+	s.opts.Robustness.CallShed(method)
 }
 
 // reject sends an error response without involving the worker pool.
@@ -261,8 +284,32 @@ func (s *Server) handle(call *serverCall) {
 	s.mu.RUnlock()
 
 	if sh != nil {
+		// Fault injection covers unary calls only; streams pass through.
 		s.handleStream(call, req, sh, recvQueue)
 		return
+	}
+
+	// Server-scope fault decision, keyed by the envelope's call ID and
+	// attempt number so schedules replay deterministically (see
+	// internal/faultplane).
+	var dec faultplane.Decision
+	if s.opts.Faults != nil {
+		dec = s.opts.Faults.Decide(faultplane.ScopeServer, req.Method, faultplane.Key{
+			Seq:     req.CallSeq - 1,
+			Have:    req.CallSeq > 0,
+			Attempt: req.Attempt,
+		})
+		if dec.Reject != trace.OK {
+			s.reject(call.conn, call.streamID, dec.Reject, "fault injection: rejected")
+			return
+		}
+		if dec.Drop {
+			// The response vanishes; the client's deadline expires.
+			return
+		}
+		if dec.Corrupt {
+			faultplane.CorruptPayload(payload)
+		}
 	}
 
 	ctx := ContextWithTrace(context.Background(), TraceContext{
@@ -281,10 +328,26 @@ func (s *Server) handle(call *serverCall) {
 		cancel()
 	}()
 
+	if dec.Delay > 0 {
+		// Injected delay occupies this worker — the mechanism by which
+		// overload incidents genuinely saturate the serving pool rather
+		// than simulating it. Bounded by the request deadline.
+		t := time.NewTimer(dec.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
+	}
+
 	var out []byte
 	var herr error
 	appStart := time.Now()
-	if h == nil {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		// Deadline burned (typically by an injected delay) before the
+		// handler ran.
+		herr = ctxErrToStatus(ctxErr)
+	} else if h == nil {
 		herr = Errorf(trace.EntityNotFound, "no handler for method %q", req.Method)
 	} else {
 		invoke := h

@@ -22,6 +22,9 @@ func (p *Plane) Apply(opts stubby.Options) stubby.Options {
 	if opts.EncryptionStats == nil {
 		opts.EncryptionStats = p.enc
 	}
+	if opts.Robustness == nil {
+		opts.Robustness = p
+	}
 	return opts
 }
 

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"rpcscale/internal/stubby"
+)
+
+// The Plane implements stubby.RobustnessObserver, so the stack's retry
+// budget, circuit breakers, and load shedding report into the same
+// Monarch DB as the call metrics. Plane.Apply wires it in.
+var _ stubby.RobustnessObserver = (*Plane)(nil)
+
+// RetryAttempt records one retry the stack issued for method.
+func (p *Plane) RetryAttempt(method string) {
+	p.retriesAttempted.Add(1)
+	p.record(aggKey{kind: kindRetry, method: method}, false, 0)
+}
+
+// RetrySuppressed records one retry the budget refused for method.
+func (p *Plane) RetrySuppressed(method string) {
+	p.retriesSuppressed.Add(1)
+	p.record(aggKey{kind: kindRetrySuppressed, method: method}, false, 0)
+}
+
+// BreakerTransition records one circuit-breaker state change. The
+// endpoints land in the metric's from/to labels.
+func (p *Plane) BreakerTransition(method string, from, to stubby.BreakerState) {
+	p.breakerTransitions.Add(1)
+	p.record(aggKey{
+		kind: kindBreaker, method: method,
+		client: from.String(), server: to.String(),
+	}, false, 0)
+}
+
+// CallShed records one request the server shed before handling.
+func (p *Plane) CallShed(method string) {
+	p.shedCalls.Add(1)
+	p.record(aggKey{kind: kindShed, method: method}, false, 0)
+}
+
+// RetriesAttempted returns the total retries the stack issued.
+func (p *Plane) RetriesAttempted() uint64 { return p.retriesAttempted.Load() }
+
+// RetriesSuppressed returns the total retries the budget refused.
+func (p *Plane) RetriesSuppressed() uint64 { return p.retriesSuppressed.Load() }
+
+// BreakerTransitions returns the total circuit-breaker state changes.
+func (p *Plane) BreakerTransitions() uint64 { return p.breakerTransitions.Load() }
+
+// ShedCalls returns the total requests servers shed under overload.
+func (p *Plane) ShedCalls() uint64 { return p.shedCalls.Load() }

@@ -57,6 +57,17 @@ const (
 	// Counter / Distribution; labels: method (+ code on the counter).
 	MetricClientCalls   = "client/calls"
 	MetricClientLatency = "client/latency"
+	// MetricRetries / MetricRetriesSuppressed count retry attempts the
+	// stack issued and retries the budget refused — together the live
+	// retry-amplification accounting. Counter; labels: method.
+	MetricRetries           = "client/retries"
+	MetricRetriesSuppressed = "client/retries_suppressed"
+	// MetricBreakerTransitions counts circuit-breaker state changes.
+	// Counter; labels: method, from, to.
+	MetricBreakerTransitions = "client/breaker_transitions"
+	// MetricShed counts requests the server rejected by load shedding
+	// before they reached the worker pool. Counter; labels: method.
+	MetricShed = "server/shed"
 )
 
 // config collects construction-time settings.
@@ -127,6 +138,12 @@ type Plane struct {
 
 	payloadBytes atomic.Uint64 // all payload bytes observed (split calibration)
 
+	// Robustness totals (the RobustnessObserver surface; see robustness.go).
+	retriesAttempted   atomic.Uint64
+	retriesSuppressed  atomic.Uint64
+	breakerTransitions atomic.Uint64
+	shedCalls          atomic.Uint64
+
 	mu   sync.Mutex
 	aggs map[aggKey]*winAgg
 }
@@ -147,6 +164,10 @@ const (
 	kindRPC uint8 = iota
 	kindServer
 	kindClient
+	kindRetry
+	kindRetrySuppressed
+	kindBreaker
+	kindShed
 )
 
 // winAgg buffers one stream's current window; it is flushed into Monarch
@@ -186,15 +207,19 @@ func New(opts ...Option) *Plane {
 func newDeclaredDB(window, retention time.Duration) *monarch.DB {
 	db := monarch.NewDB(monarch.WithWindow(window), monarch.WithRetention(retention))
 	for m, k := range map[string]monarch.Kind{
-		MetricRPCCount:      monarch.Counter,
-		MetricRPCErrors:     monarch.Counter,
-		MetricLatency:       monarch.Distribution,
-		MetricReqBytes:      monarch.Distribution,
-		MetricRespBytes:     monarch.Distribution,
-		MetricServerCount:   monarch.Counter,
-		MetricServerApp:     monarch.Distribution,
-		MetricClientCalls:   monarch.Counter,
-		MetricClientLatency: monarch.Distribution,
+		MetricRPCCount:           monarch.Counter,
+		MetricRPCErrors:          monarch.Counter,
+		MetricLatency:            monarch.Distribution,
+		MetricReqBytes:           monarch.Distribution,
+		MetricRespBytes:          monarch.Distribution,
+		MetricServerCount:        monarch.Counter,
+		MetricServerApp:          monarch.Distribution,
+		MetricClientCalls:        monarch.Counter,
+		MetricClientLatency:      monarch.Distribution,
+		MetricRetries:            monarch.Counter,
+		MetricRetriesSuppressed:  monarch.Counter,
+		MetricBreakerTransitions: monarch.Counter,
+		MetricShed:               monarch.Counter,
 	} {
 		if err := db.Declare(m, k); err != nil {
 			panic(err) // fresh DB; only a telemetry-internal bug can fail
@@ -218,6 +243,10 @@ func (p *Plane) Reset() {
 	p.col.Reset()
 	p.prof.Reset()
 	p.payloadBytes.Store(0)
+	p.retriesAttempted.Store(0)
+	p.retriesSuppressed.Store(0)
+	p.breakerTransitions.Store(0)
+	p.shedCalls.Store(0)
 	p.comp.CompressCalls.Store(0)
 	p.comp.DecompressCalls.Store(0)
 	p.comp.BytesIn.Store(0)
@@ -426,6 +455,17 @@ func (p *Plane) flushLocked(key aggKey, a *winAgg) {
 		if a.lat != nil {
 			p.writeDist(MetricClientLatency, monarch.Labels{"method": key.method}, a.window, a.lat)
 		}
+	case kindRetry:
+		p.write(MetricRetries, monarch.Labels{"method": key.method}, a.window, a.count)
+	case kindRetrySuppressed:
+		p.write(MetricRetriesSuppressed, monarch.Labels{"method": key.method}, a.window, a.count)
+	case kindBreaker:
+		// The transition endpoints ride in the cluster label slots.
+		p.write(MetricBreakerTransitions, monarch.Labels{
+			"method": key.method, "from": key.client, "to": key.server,
+		}, a.window, a.count)
+	case kindShed:
+		p.write(MetricShed, monarch.Labels{"method": key.method}, a.window, a.count)
 	}
 }
 

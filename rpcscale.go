@@ -33,6 +33,7 @@ import (
 
 	"rpcscale/internal/compressor"
 	"rpcscale/internal/core"
+	"rpcscale/internal/faultplane"
 	"rpcscale/internal/fleet"
 	"rpcscale/internal/monarch"
 	"rpcscale/internal/sim"
@@ -104,6 +105,63 @@ type (
 	// Compression selects a payload compression algorithm.
 	Compression = compressor.Algorithm
 )
+
+// Fault injection and robustness.
+type (
+	// FaultInjector is a deterministic, seed-driven fault plane: attach
+	// it to an endpoint with WithFaults and every drop, delay, reject,
+	// and corruption replays identically from the same seed.
+	FaultInjector = faultplane.Injector
+	// FaultConfig is an injector's full fault schedule.
+	FaultConfig = faultplane.Config
+	// FaultRule is one probabilistic fault rule (rates per fault kind,
+	// optionally restricted to a method pattern).
+	FaultRule = faultplane.Rule
+	// FaultIncident is a time-windowed burst of extra fault rules, the
+	// window measured in call sequence numbers so it replays exactly.
+	FaultIncident = faultplane.Incident
+	// FaultStats is an injector's per-scope decision accounting.
+	FaultStats = faultplane.Stats
+	// RetryBudget is a token bucket capping client retry amplification,
+	// shared across the channels it is installed on.
+	RetryBudget = stubby.RetryBudget
+	// BreakerConfig configures a per-(channel, method) circuit breaker.
+	BreakerConfig = stubby.BreakerConfig
+	// BreakerState is a circuit breaker's state (closed, open, half-open).
+	BreakerState = stubby.BreakerState
+	// RobustnessObserver receives retry, breaker, and shedding events;
+	// the telemetry Plane implements it.
+	RobustnessObserver = stubby.RobustnessObserver
+)
+
+// Circuit-breaker states.
+const (
+	BreakerClosed   = stubby.BreakerClosed
+	BreakerOpen     = stubby.BreakerOpen
+	BreakerHalfOpen = stubby.BreakerHalfOpen
+)
+
+// NewFaultInjector builds a deterministic fault injector from a schedule.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultplane.New(cfg) }
+
+// NewRetryBudget returns a retry budget of maxTokens, refunding
+// successCredit tokens per success. Non-positive arguments select the
+// defaults (10 tokens, 0.1 credit — a sustained amplification cap of 1.1).
+func NewRetryBudget(maxTokens, successCredit float64) *RetryBudget {
+	return stubby.NewRetryBudget(maxTokens, successCredit)
+}
+
+// DefaultRetryPolicy retries transient failures up to 3 attempts with
+// exponential backoff.
+func DefaultRetryPolicy() RetryPolicy { return stubby.DefaultRetryPolicy() }
+
+// ContextWithCallID tags ctx with a caller-assigned logical call ID. The
+// fault plane keys its decisions on it, making injected faults
+// independent of goroutine interleaving; without one, injectors fall
+// back to arrival order.
+func ContextWithCallID(ctx context.Context, id uint64) context.Context {
+	return stubby.ContextWithCallID(ctx, id)
+}
 
 // Compression algorithms for WithCompression.
 const (
@@ -184,6 +242,11 @@ const (
 	MetricServerApp     = telemetry.MetricServerApp     // Distribution (ns): method, cluster
 	MetricClientCalls   = telemetry.MetricClientCalls   // Counter: method, code
 	MetricClientLatency = telemetry.MetricClientLatency // Distribution (ns): method
+
+	MetricRetries            = telemetry.MetricRetries            // Counter: method
+	MetricRetriesSuppressed  = telemetry.MetricRetriesSuppressed  // Counter: method
+	MetricBreakerTransitions = telemetry.MetricBreakerTransitions // Counter: method, from, to
+	MetricShed               = telemetry.MetricShed               // Counter: method
 )
 
 // --- Monarch and collector constructors ---
@@ -237,6 +300,7 @@ type stackConfig struct {
 	opts          stubby.Options
 	serverCluster string
 	plane         *telemetry.Plane
+	budget        *stubby.RetryBudget
 }
 
 // Option configures the real RPC stack's constructors (Dial, NewServer,
@@ -310,11 +374,56 @@ func WithStubbyOptions(opts StubbyOptions) Option {
 	return func(c *stackConfig) { c.opts = opts }
 }
 
+// WithFaults attaches a deterministic fault injector to the endpoint:
+// channels consult it before each attempt, servers before each handled
+// request. Build one with NewFaultInjector; the same seed replays the
+// same fault schedule.
+func WithFaults(inj *FaultInjector) Option {
+	return func(c *stackConfig) { c.opts.Faults = inj }
+}
+
+// WithRetryPolicy makes dialed channels retry transient failures
+// themselves per the policy, instead of every caller composing WithRetry
+// by hand.
+func WithRetryPolicy(policy RetryPolicy) Option {
+	return func(c *stackConfig) { c.opts.Retry = &policy }
+}
+
+// WithRetryBudget caps the channel's retry amplification with a shared
+// token bucket. If no retry policy was configured, the default one is
+// installed to carry it. Share one budget across a pool's channels so
+// the cap covers the aggregate stream.
+func WithRetryBudget(b *RetryBudget) Option {
+	return func(c *stackConfig) { c.budget = b }
+}
+
+// WithCircuitBreaker gives dialed channels a circuit breaker tracking
+// state per method: consecutive transient failures open the circuit,
+// which then fails fast until a cooldown probe succeeds.
+func WithCircuitBreaker(cfg BreakerConfig) Option {
+	return func(c *stackConfig) { c.opts.Breaker = &cfg }
+}
+
+// WithLoadShedding makes servers reject new requests with Unavailable
+// once the receive queue holds at least threshold requests — failing
+// fast under overload instead of queuing toward a missed deadline.
+func WithLoadShedding(threshold int) Option {
+	return func(c *stackConfig) { c.opts.ShedThreshold = threshold }
+}
+
 // resolve applies the options and wires the plane in.
 func resolve(opts []Option) stackConfig {
 	var c stackConfig
 	for _, o := range opts {
 		o(&c)
+	}
+	if c.budget != nil {
+		policy := stubby.DefaultRetryPolicy()
+		if c.opts.Retry != nil {
+			policy = *c.opts.Retry
+		}
+		policy.Budget = c.budget
+		c.opts.Retry = &policy
 	}
 	if c.plane != nil {
 		c.opts = c.plane.Apply(c.opts)
