@@ -576,6 +576,48 @@ func BenchmarkOffloadCoverage(b *testing.B) {
 	}
 }
 
+// --- Streaming accumulator benches ---
+
+// BenchmarkAccumObserve measures the steady-state cost of folding one
+// volume span into the report accumulators. After warm-up the observe
+// path allocates only on histogram bucket growth and periodic bottom-k
+// prunes, so allocs/op should sit near zero — the property that keeps
+// StreamReport's memory bounded at any volume.
+func BenchmarkAccumObserve(b *testing.B) {
+	_, _, ds := fixture(b)
+	spans := ds.VolumeSpans
+	if len(spans) == 0 {
+		b.Skip("no volume spans")
+	}
+	sink := core.NewReportSink()
+	for _, s := range spans {
+		sink.VolumeSpan(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i, j := 0, 0; i < b.N; i++ {
+		sink.VolumeSpan(spans[j])
+		j++
+		if j == len(spans) {
+			j = 0
+		}
+	}
+}
+
+// BenchmarkAccumReplay measures replaying the materialized dataset
+// through per-shard accumulators and merging them in shard order — the
+// one-time cost FullReport pays before rendering.
+func BenchmarkAccumReplay(b *testing.B) {
+	_, _, ds := fixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if core.SinkFromDataset(ds) == nil {
+			b.Fatal("nil sink")
+		}
+	}
+}
+
 // BenchmarkStubbyStream measures server-streaming throughput on the real
 // stack: 64 x 32KB chunks per stream.
 func BenchmarkStubbyStream(b *testing.B) {

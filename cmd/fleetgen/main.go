@@ -3,6 +3,12 @@
 // inspection with external tools or replay through cmd/tracequery and
 // cmd/rpcanalyze -in.
 //
+// Spans stream from the generation shards straight to the writer: the
+// dataset is never materialized, so memory stays bounded no matter how
+// large -volume is. Records interleave across shards (dump order varies
+// run to run) but the set of records is deterministic for a fixed seed;
+// sort or replay through rpcanalyze -stream, which is order-insensitive.
+//
 // Usage:
 //
 //	fleetgen [-methods N] [-volume N] [-trees N] [-seed N] -o spans.jsonl
@@ -14,6 +20,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpcscale/internal/fleet"
@@ -22,34 +32,74 @@ import (
 	"rpcscale/internal/workload"
 )
 
+// streamSink streams every span to a SpanWriter as shards produce them.
+// One instance is shared by all shards: the writer serializes records,
+// and the only other state is atomic. The first write error is kept and
+// reported after the run (sink callbacks cannot return errors).
+type streamSink struct {
+	w     *trace.SpanWriter
+	roots atomic.Uint64
+
+	mu  sync.Mutex
+	err error
+}
+
+func (s *streamSink) write(sp *trace.Span) {
+	if err := s.w.Write(sp); err != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = err
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *streamSink) MethodSpan(sp *trace.Span) { s.write(sp) }
+func (s *streamSink) VolumeSpan(sp *trace.Span) { s.write(sp) }
+func (s *streamSink) TreeSpan(sp *trace.Span) {
+	if sp.ParentID == 0 {
+		s.roots.Add(1)
+	}
+	s.write(sp)
+}
+func (s *streamSink) TreeShape(string, int, int)             {}
+func (s *streamSink) ExoSample(string, *trace.Span, sim.Exo) {}
+
 func main() {
 	var (
-		methods = flag.Int("methods", 2000, "catalog size (paper: 10000)")
-		volume  = flag.Int("volume", 200000, "popularity-weighted call samples")
-		trees   = flag.Int("trees", 1000, "materialized call trees")
-		samples = flag.Int("samples", 150, "stratified samples per method")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		out     = flag.String("o", "spans.jsonl", "output path ('-' for stdout)")
+		methods    = flag.Int("methods", 2000, "catalog size (paper: 10000)")
+		volume     = flag.Int("volume", 200000, "popularity-weighted call samples")
+		trees      = flag.Int("trees", 1000, "materialized call trees")
+		samples    = flag.Int("samples", 150, "stratified samples per method")
+		seed       = flag.Uint64("seed", 1, "master seed")
+		out        = flag.String("o", "spans.jsonl", "output path ('-' for stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		memstats   = flag.Bool("memstats", false, "print heap statistics to stderr at exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	topo := sim.NewTopology(sim.TopologyConfig{
 		Regions: 6, DatacentersPer: 2, ClustersPerDC: 3,
 		MachinesPerCluster: 16, Seed: *seed,
 	})
 	cat := fleet.New(fleet.Config{Methods: *methods, Clusters: len(topo.Clusters), Seed: *seed})
-	// Ctrl-C stops generation at the next sample boundary; the partial
-	// dataset still gets written out.
+	// Ctrl-C stops generation at the next sample boundary; everything
+	// streamed so far is already on its way to the writer.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-
-	start := time.Now()
-	ds := workload.Generate(ctx, cat, topo, workload.RunConfig{
-		Seed:          *seed,
-		MethodSamples: *samples,
-		VolumeRoots:   *volume,
-		Trees:         *trees,
-	})
 
 	var w *os.File
 	if *out == "-" {
@@ -57,17 +107,49 @@ func main() {
 	} else {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		w = f
 	}
-	spans := ds.AllSpans()
-	if err := trace.WriteSpans(w, spans); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	start := time.Now()
+	sink := &streamSink{w: trace.NewSpanWriter(w)}
+	workload.Run(ctx, cat, topo, workload.RunConfig{
+		Seed:          *seed,
+		MethodSamples: *samples,
+		VolumeRoots:   *volume,
+		Trees:         *trees,
+	}, func(int) workload.SpanSink { return sink })
+	if err := sink.w.Flush(); err != nil && sink.err == nil {
+		sink.err = err
+	}
+	if sink.err != nil {
+		fatal(sink.err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d spans (%d trees, %d methods) in %v\n",
-		len(spans), len(ds.Trees), len(cat.Methods), time.Since(start).Round(time.Millisecond))
+		sink.w.Count(), sink.roots.Load(), len(cat.Methods), time.Since(start).Round(time.Millisecond))
+
+	if *memstats {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		fmt.Fprintf(os.Stderr, "memstats: heap_sys_bytes=%d heap_alloc_bytes=%d total_alloc_bytes=%d\n",
+			m.HeapSys, m.HeapAlloc, m.TotalAlloc)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

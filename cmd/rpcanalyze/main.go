@@ -5,43 +5,71 @@
 // Usage:
 //
 //	rpcanalyze [-methods N] [-volume N] [-samples N] [-trees N]
-//	           [-seed N] [-days N] [-lb] [-quick]
+//	           [-seed N] [-days N] [-lb] [-quick] [-stream]
 //
 // -quick shrinks everything for a fast smoke run; paper-scale is
 // -methods 10000 -volume 2000000.
+//
+// -stream switches both modes to the single-pass accumulator plane:
+// simulation feeds per-shard accumulators and never materializes the
+// dataset, and -in scans the dump one record at a time, so memory stays
+// bounded regardless of -volume or dump size. The out-of-core workflow is
+//
+//	fleetgen -volume 2000000 -o - | rpcanalyze -stream -in -
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rpcscale/internal/core"
 	"rpcscale/internal/fleet"
+	"rpcscale/internal/gwp"
 	"rpcscale/internal/monarch"
 	"rpcscale/internal/sim"
+	"rpcscale/internal/trace"
 	"rpcscale/internal/workload"
 )
 
 func main() {
 	var (
-		methods = flag.Int("methods", 2000, "catalog size (paper: 10000)")
-		volume  = flag.Int("volume", 200000, "popularity-weighted call samples")
-		samples = flag.Int("samples", 150, "stratified samples per method")
-		trees   = flag.Int("trees", 1000, "materialized call trees")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		days    = flag.Int("days", 700, "growth history days (Fig. 1)")
-		lb      = flag.Bool("lb", true, "run the Fig. 22 load-balance experiment")
-		quick   = flag.Bool("quick", false, "small fast run")
-		in      = flag.String("in", "", "analyze a span dump (fleetgen output) instead of simulating")
+		methods    = flag.Int("methods", 2000, "catalog size (paper: 10000)")
+		volume     = flag.Int("volume", 200000, "popularity-weighted call samples")
+		samples    = flag.Int("samples", 150, "stratified samples per method")
+		trees      = flag.Int("trees", 1000, "materialized call trees")
+		seed       = flag.Uint64("seed", 1, "master seed")
+		days       = flag.Int("days", 700, "growth history days (Fig. 1)")
+		lb         = flag.Bool("lb", true, "run the Fig. 22 load-balance experiment")
+		quick      = flag.Bool("quick", false, "small fast run")
+		in         = flag.String("in", "", "analyze a span dump (fleetgen output, '-' for stdin) instead of simulating")
+		stream     = flag.Bool("stream", false, "single-pass bounded-memory analysis (never materialize the dataset)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
+
 	if *in != "" {
-		analyzeDump(*in)
+		analyzeDump(*in, *stream)
 		return
 	}
 
@@ -62,23 +90,20 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	fmt.Fprintf(os.Stderr, "simulating fleet traffic (%d volume samples)...\n", *volume)
-	ds := workload.Generate(ctx, cat, topo, workload.RunConfig{
+	cfg := workload.RunConfig{
 		Seed:          *seed,
 		MethodSamples: *samples,
 		VolumeRoots:   *volume,
 		Trees:         *trees,
-	})
+	}
 
 	fmt.Fprintf(os.Stderr, "writing %d-day Monarch history...\n", *days)
 	db := monarch.NewDB(monarch.WithRetention(time.Duration(*days+10) * 24 * time.Hour))
 	if err := workload.DeclareMetrics(db); err != nil {
-		fmt.Fprintln(os.Stderr, "monarch:", err)
-		os.Exit(1)
+		fatal(fmt.Errorf("monarch: %w", err))
 	}
 	if err := workload.WriteGrowthHistory(db, workload.GrowthConfig{Days: *days, Seed: *seed}); err != nil {
-		fmt.Fprintln(os.Stderr, "growth:", err)
-		os.Exit(1)
+		fatal(fmt.Errorf("growth: %w", err))
 	}
 
 	gen := workload.NewGenerator(cat, topo, nil, *seed+7)
@@ -90,27 +115,101 @@ func main() {
 	if *lb {
 		opts.LoadBalanceSeed = *seed + 13
 	}
-	fmt.Fprintf(os.Stderr, "running analyses...\n")
-	fmt.Print(core.FullReport(ds, opts))
+
+	if *stream {
+		// Single pass: shards feed accumulators; no dataset is built. For
+		// a fixed (seed, shards) the output is byte-identical to the
+		// materialized path below.
+		fmt.Fprintf(os.Stderr, "streaming fleet traffic (%d volume samples) through accumulators...\n", *volume)
+		fmt.Print(core.StreamReport(ctx, cat, topo, cfg, opts))
+	} else {
+		fmt.Fprintf(os.Stderr, "simulating fleet traffic (%d volume samples)...\n", *volume)
+		ds := workload.Generate(ctx, cat, topo, cfg)
+		fmt.Fprintf(os.Stderr, "running analyses...\n")
+		fmt.Print(core.FullReport(ds, opts))
+	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
 // analyzeDump runs the span-level analyses over a fleetgen dump. Figures
 // that need the simulator (17-19, 22) or Monarch history (1, 18) are
 // skipped; everything span-derived is reproduced from the file.
-func analyzeDump(path string) {
-	f, err := os.Open(path)
+//
+// With streaming enabled the dump is scanned one record at a time into a
+// single accumulator set (every span counts toward both the per-method
+// distributions and the volume mix, exactly like the materialized
+// reconstruction), so dumps far larger than memory analyze fine. Tree
+// reconstruction needs all spans at once, so the streaming path leaves
+// the Fig. 4/5 shape panel empty; its output is otherwise the same
+// analysis, though not byte-identical to the materialized dump path,
+// which replays reconstructed trees.
+func analyzeDump(path string, stream bool) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	if !stream {
+		ds, err := workload.LoadDataset(r)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d spans, %d methods, %d trees\n",
+			len(ds.VolumeSpans), len(ds.MethodSpans), len(ds.Trees))
+		fmt.Print(core.FullReport(ds, core.ReportOptions{}))
+		return
+	}
+
+	sink := core.NewReportSink()
+	prof := gwp.New()
+	var n uint64
+	err := trace.ScanSpans(r, func(s *trace.Span) error {
+		n++
+		sink.MethodSpan(s)
+		sink.VolumeSpan(s)
+		switch {
+		case s.HasCPUSplit():
+			for cat, cycles := range s.CPUByCategory {
+				prof.Record(s.Service, s.Method, gwp.Category(cat), cycles)
+			}
+		case s.CPUCycles > 0:
+			prof.Record(s.Service, s.Method, gwp.Application, s.CPUCycles)
+		}
+		return nil
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if n == 0 {
+		fatal(fmt.Errorf("rpcanalyze: span dump is empty"))
+	}
+	fmt.Fprintf(os.Stderr, "scanned %d spans out-of-core\n", n)
+	fmt.Print(core.ReportFromSink(sink, prof.Snapshot(), core.ReportOptions{}))
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
 	}
 	defer f.Close()
-	ds, err := workload.LoadDataset(f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d spans, %d methods, %d trees\n",
-		len(ds.VolumeSpans), len(ds.MethodSpans), len(ds.Trees))
-	fmt.Print(core.FullReport(ds, core.ReportOptions{}))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

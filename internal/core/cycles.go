@@ -17,12 +17,18 @@ type CycleTaxResult struct {
 
 // CycleTax computes Fig. 20 from a dataset's GWP profile.
 func CycleTax(ds *workload.Dataset) *CycleTaxResult {
+	return CycleTaxFromProfile(ds.Profile)
+}
+
+// CycleTaxFromProfile computes Fig. 20 from a GWP snapshot directly, for
+// callers that never materialize a Dataset.
+func CycleTaxFromProfile(prof *gwp.Snapshot) *CycleTaxResult {
 	res := &CycleTaxResult{
-		TaxShare: ds.Profile.TaxShare(),
+		TaxShare: prof.TaxShare(),
 		ByCat:    make(map[gwp.Category]float64),
 	}
 	for _, c := range gwp.TaxCategories() {
-		res.ByCat[c] = ds.Profile.CategoryShare(c)
+		res.ByCat[c] = prof.CategoryShare(c)
 	}
 	return res
 }

@@ -27,41 +27,34 @@ type ErrorResult struct {
 
 // ErrorAnalysis computes Fig. 23 over the volume mix.
 func ErrorAnalysis(ds *workload.Dataset) *ErrorResult {
-	var calls, errs float64
-	counts := make(map[trace.ErrorCode]float64)
-	cycles := make(map[trace.ErrorCode]float64)
-	var wastedTotal float64
-	var cancels, hedgedCancels float64
-	for _, s := range ds.VolumeSpans {
-		calls++
-		if !s.Err.IsError() {
+	return sinkFor(ds).ErrorAnalysis()
+}
+
+// ErrorAnalysis computes Fig. 23 from accumulated per-code counters.
+func (k *ReportSink) ErrorAnalysis() *ErrorResult {
+	res := &ErrorResult{}
+	if k.errCalls > 0 {
+		res.ErrorRate = float64(k.errErrs) / float64(k.errCalls)
+	}
+	for code := trace.ErrorCode(0); int(code) < trace.NumErrorCodes; code++ {
+		n := k.errCounts[code]
+		if n == 0 {
 			continue
 		}
-		errs++
-		counts[s.Err]++
-		cycles[s.Err] += s.CPUCycles
-		wastedTotal += s.CPUCycles
-		if s.Err == trace.Cancelled {
-			cancels++
-			if s.Hedged {
-				hedgedCancels++
-			}
-		}
-	}
-	res := &ErrorResult{}
-	if calls > 0 {
-		res.ErrorRate = errs / calls
-	}
-	for code, n := range counts {
-		row := ErrorRow{Code: code, CountShare: n / errs}
-		if wastedTotal > 0 {
-			row.CycleShare = cycles[code] / wastedTotal
+		row := ErrorRow{Code: code, CountShare: float64(n) / float64(k.errErrs)}
+		if k.wastedCycles > 0 {
+			row.CycleShare = k.errCycles[code] / k.wastedCycles
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].CountShare > res.Rows[j].CountShare })
-	if cancels > 0 {
-		res.HedgeCancelShare = hedgedCancels / cancels
+	sort.Slice(res.Rows, func(i, j int) bool {
+		if res.Rows[i].CountShare != res.Rows[j].CountShare {
+			return res.Rows[i].CountShare > res.Rows[j].CountShare
+		}
+		return res.Rows[i].Code < res.Rows[j].Code
+	})
+	if k.cancels > 0 {
+		res.HedgeCancelShare = float64(k.hedgedCancels) / float64(k.cancels)
 	}
 	return res
 }

@@ -30,10 +30,15 @@ type OffloadCoverageResult struct {
 	ByteCoverage float64
 }
 
-// OffloadCoverage computes accelerator coverage over the volume mix.
+// OffloadCoverage computes accelerator coverage over the volume mix. The
+// report's fixed MTU (1500) is served from accumulated counters; other
+// MTUs replay the retained volume spans.
 func OffloadCoverage(ds *workload.Dataset, mtu int64) *OffloadCoverageResult {
 	if mtu <= 0 {
 		mtu = 1500
+	}
+	if mtu == reportMTU {
+		return sinkFor(ds).OffloadCoverage()
 	}
 	res := &OffloadCoverageResult{MTU: mtu}
 	var calls, callsCovered float64
@@ -63,6 +68,20 @@ func OffloadCoverage(ds *workload.Dataset, mtu int64) *OffloadCoverageResult {
 	return res
 }
 
+// OffloadCoverage computes §2.5 coverage at the report MTU from
+// accumulated counters.
+func (k *ReportSink) OffloadCoverage() *OffloadCoverageResult {
+	res := &OffloadCoverageResult{MTU: reportMTU}
+	if k.offCalls > 0 {
+		res.CallCoverage = float64(k.offCallsCov) / float64(k.offCalls)
+		res.MessageCoverage = float64(k.offMsgsCov) / float64(k.offMsgs)
+	}
+	if k.offBytes > 0 {
+		res.ByteCoverage = float64(k.offBytesCov) / float64(k.offBytes)
+	}
+	return res
+}
+
 // Render formats the offload coverage finding.
 func (r *OffloadCoverageResult) Render() string {
 	var b strings.Builder
@@ -87,38 +106,44 @@ type OptimizationCoverageResult struct {
 
 // OptimizationCoverage computes coverage for standard program sizes.
 func OptimizationCoverage(ds *workload.Dataset) *OptimizationCoverageResult {
-	calls := make(map[string]float64)
-	times := make(map[string]float64)
-	var totalCalls, totalTime float64
-	for _, s := range ds.VolumeSpans {
-		if s.Hedged {
-			continue
-		}
-		calls[s.Method]++
-		totalCalls++
-		t := float64(s.Breakdown.Total())
-		times[s.Method] += t
-		totalTime += t
+	return sinkFor(ds).OptimizationCoverage()
+}
+
+// OptimizationCoverage computes the §5.2 table from accumulated
+// per-method volume counters (hedge duplicates excluded at accumulation
+// time).
+func (k *ReportSink) OptimizationCoverage() *OptimizationCoverageResult {
+	var totalCalls uint64
+	var totalTimeNs int64
+	for _, v := range k.vol {
+		totalCalls += v.calls
+		totalTimeNs += v.timeNs
 	}
 	type kv struct {
 		m string
-		v float64
+		v uint64
 	}
-	sorted := make([]kv, 0, len(calls))
-	for m, c := range calls {
-		sorted = append(sorted, kv{m, c})
+	sorted := make([]kv, 0, len(k.vol))
+	for _, m := range sortedKeys(k.vol) {
+		sorted = append(sorted, kv{m, k.vol[m].calls})
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].v > sorted[j].v })
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].v != sorted[j].v {
+			return sorted[i].v > sorted[j].v
+		}
+		return sorted[i].m < sorted[j].m
+	})
 
 	res := &OptimizationCoverageResult{Ks: []int{1, 10, 100, 1000}}
-	for _, k := range res.Ks {
-		var c, t float64
-		for i := 0; i < k && i < len(sorted); i++ {
+	for _, topK := range res.Ks {
+		var c uint64
+		var t int64
+		for i := 0; i < topK && i < len(sorted); i++ {
 			c += sorted[i].v
-			t += times[sorted[i].m]
+			t += k.vol[sorted[i].m].timeNs
 		}
-		res.CallCoverage = append(res.CallCoverage, c/totalCalls)
-		res.TimeCoverage = append(res.TimeCoverage, t/totalTime)
+		res.CallCoverage = append(res.CallCoverage, float64(c)/float64(totalCalls))
+		res.TimeCoverage = append(res.TimeCoverage, float64(t)/float64(totalTimeNs))
 	}
 	return res
 }

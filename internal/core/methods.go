@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"rpcscale/internal/stats"
-	"rpcscale/internal/trace"
 	"rpcscale/internal/workload"
 )
 
@@ -32,30 +31,22 @@ type PerMethodResult struct {
 // least 100 samples are analyzed, so P99 is well defined.
 const minSamplesPerMethod = 100
 
-// perMethod builds a PerMethodResult from stratified spans, extracting
-// value(span) per successful span.
-func perMethod(ds *workload.Dataset, what, unit string, minVal, growth float64, value func(*trace.Span) (float64, bool)) *PerMethodResult {
+// perMethodResult assembles a per-method figure from one accumulated
+// histogram per method: methods below the sample gate are skipped, each
+// histogram's count is the figure's call count (a value is counted iff it
+// was added), and rows sort by median as in every such paper figure.
+func (k *ReportSink) perMethodResult(what, unit string, hist func(*methodAccum) *stats.Hist) *PerMethodResult {
 	res := &PerMethodResult{What: what, Unit: unit}
-	for _, name := range sortedKeys(ds.MethodSpans) {
-		spans := ds.MethodSpans[name]
-		if len(spans) < minSamplesPerMethod {
+	for _, name := range sortedKeys(k.methods) {
+		a := k.methods[name]
+		if a.spans < minSamplesPerMethod {
 			continue
 		}
-		h := stats.NewHist(minVal, growth)
-		var calls uint64
-		for _, s := range spans {
-			if s.Err.IsError() {
-				continue // the paper excludes error RPC latency (§2.1)
-			}
-			if v, ok := value(s); ok {
-				h.Add(v)
-				calls++
-			}
-		}
+		h := hist(a)
 		if h.Count() == 0 {
 			continue
 		}
-		res.Rows = append(res.Rows, MethodDist{Method: name, Calls: calls, Summary: h.Summarize()})
+		res.Rows = append(res.Rows, MethodDist{Method: name, Calls: h.Count(), Summary: h.Summarize()})
 	}
 	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].Summary.P50 < res.Rows[j].Summary.P50 })
 	return res
@@ -88,8 +79,12 @@ func (r *PerMethodResult) FractionOfMethods(pred func(stats.Summary) bool) float
 // LatencyByMethod is Fig. 2: per-method RPC completion time, sorted by
 // median.
 func LatencyByMethod(ds *workload.Dataset) *PerMethodResult {
-	return perMethod(ds, "RPC completion time", "ns", 100, stats.DefaultGrowth,
-		func(s *trace.Span) (float64, bool) { return float64(s.Breakdown.Total()), true })
+	return sinkFor(ds).LatencyByMethod()
+}
+
+// LatencyByMethod is Fig. 2 from accumulated state.
+func (k *ReportSink) LatencyByMethod() *PerMethodResult {
+	return k.perMethodResult("RPC completion time", "ns", func(a *methodAccum) *stats.Hist { return a.lat })
 }
 
 // LatencyAnchors summarizes Fig. 2's headline claims for EXPERIMENTS.md.
@@ -135,32 +130,43 @@ func (r *PerMethodResult) Anchors() LatencyAnchors {
 
 // RequestSizeByMethod is Fig. 6a/b.
 func RequestSizeByMethod(ds *workload.Dataset) *PerMethodResult {
-	return perMethod(ds, "request size", "B", 1, stats.DefaultGrowth,
-		func(s *trace.Span) (float64, bool) { return float64(s.RequestBytes), true })
+	return sinkFor(ds).RequestSizeByMethod()
+}
+
+// RequestSizeByMethod is Fig. 6a from accumulated state.
+func (k *ReportSink) RequestSizeByMethod() *PerMethodResult {
+	return k.perMethodResult("request size", "B", func(a *methodAccum) *stats.Hist { return a.req })
 }
 
 // ResponseSizeByMethod complements Fig. 6 (the paper quotes response
 // anchors in the text).
 func ResponseSizeByMethod(ds *workload.Dataset) *PerMethodResult {
-	return perMethod(ds, "response size", "B", 1, stats.DefaultGrowth,
-		func(s *trace.Span) (float64, bool) { return float64(s.ResponseBytes), true })
+	return sinkFor(ds).ResponseSizeByMethod()
+}
+
+// ResponseSizeByMethod is Fig. 6b from accumulated state.
+func (k *ReportSink) ResponseSizeByMethod() *PerMethodResult {
+	return k.perMethodResult("response size", "B", func(a *methodAccum) *stats.Hist { return a.resp })
 }
 
 // SizeRatioByMethod is Fig. 7: response/request per call, per method.
 func SizeRatioByMethod(ds *workload.Dataset) *PerMethodResult {
-	return perMethod(ds, "response/request ratio", "ratio", 1e-4, 1.1,
-		func(s *trace.Span) (float64, bool) {
-			if s.RequestBytes == 0 {
-				return 0, false
-			}
-			return float64(s.ResponseBytes) / float64(s.RequestBytes), true
-		})
+	return sinkFor(ds).SizeRatioByMethod()
+}
+
+// SizeRatioByMethod is Fig. 7 from accumulated state.
+func (k *ReportSink) SizeRatioByMethod() *PerMethodResult {
+	return k.perMethodResult("response/request ratio", "ratio", func(a *methodAccum) *stats.Hist { return a.ratio })
 }
 
 // CPUByMethod is Fig. 21: per-method normalized CPU cycles.
 func CPUByMethod(ds *workload.Dataset) *PerMethodResult {
-	return perMethod(ds, "CPU cost", "cycles", 1e-4, 1.1,
-		func(s *trace.Span) (float64, bool) { return s.CPUCycles, s.CPUCycles > 0 })
+	return sinkFor(ds).CPUByMethod()
+}
+
+// CPUByMethod is Fig. 21 from accumulated state.
+func (k *ReportSink) CPUByMethod() *PerMethodResult {
+	return k.perMethodResult("CPU cost", "cycles", func(a *methodAccum) *stats.Hist { return a.cpu })
 }
 
 // CPUCorrelations reports the §4.2 finding that neither size nor latency
@@ -172,14 +178,22 @@ type CPUCorrelations struct {
 
 // CPUCorrelationAnalysis computes rank correlations over the volume mix.
 func CPUCorrelationAnalysis(ds *workload.Dataset) CPUCorrelations {
-	var sizes, lats, cpus []float64
-	for _, s := range ds.VolumeSpans {
-		if s.Err.IsError() || s.CPUCycles <= 0 {
-			continue
-		}
-		sizes = append(sizes, float64(s.RequestBytes+s.ResponseBytes))
-		lats = append(lats, float64(s.Breakdown.Total()))
-		cpus = append(cpus, s.CPUCycles)
+	return sinkFor(ds).CPUCorrelationAnalysis()
+}
+
+// CPUCorrelationAnalysis computes rank correlations over the accumulated
+// correlation subsample: a hash-ordered bottom-k sketch of the volume mix,
+// so the estimate is independent of stream order and sharding while the
+// state stays a fixed size.
+func (k *ReportSink) CPUCorrelationAnalysis() CPUCorrelations {
+	items := k.corr.Items()
+	sizes := make([]float64, 0, len(items))
+	lats := make([]float64, 0, len(items))
+	cpus := make([]float64, 0, len(items))
+	for _, it := range items {
+		sizes = append(sizes, it.Vals[0])
+		lats = append(lats, it.Vals[1])
+		cpus = append(cpus, it.Vals[2])
 	}
 	return CPUCorrelations{
 		SizeVsCPU:    stats.SpearmanRank(sizes, cpus),

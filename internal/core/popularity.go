@@ -33,36 +33,48 @@ type MethodShare struct {
 // ordering comes from the stratified per-method medians so the result is
 // purely observational (catalog internals are not consulted).
 func PopularityAnalysis(ds *workload.Dataset, latencyOrder *PerMethodResult) *PopularityResult {
-	counts := make(map[string]float64)
-	timeTotal := make(map[string]float64)
-	var total float64
-	for _, s := range ds.VolumeSpans {
-		if s.Hedged {
-			continue // hedge duplicates are not independent calls
-		}
-		counts[s.Method]++
-		total++
-		timeTotal[s.Method] += float64(s.Breakdown.Total())
+	return sinkFor(ds).PopularityAnalysis(latencyOrder)
+}
+
+// PopularityAnalysis computes Fig. 3 from accumulated volume counts
+// (hedge duplicates excluded at accumulation time).
+func (k *ReportSink) PopularityAnalysis(latencyOrder *PerMethodResult) *PopularityResult {
+	var totalCalls uint64
+	var allTimeNs int64
+	for _, v := range k.vol {
+		totalCalls += v.calls
+		allTimeNs += v.timeNs
 	}
+	total := float64(totalCalls)
 	res := &PopularityResult{}
 	// Order by the latency ranking (methods without volume samples get
 	// zero share rows so the x-axis matches Fig. 2's).
 	for _, row := range latencyOrder.Rows {
+		var share float64
+		if v := k.vol[row.Method]; v != nil {
+			share = float64(v.calls) / total
+		}
 		res.ShareByLatencyRank = append(res.ShareByLatencyRank, MethodShare{
 			Method: row.Method,
-			Share:  counts[row.Method] / total,
+			Share:  share,
 		})
 	}
-	// Popularity-sorted anchors.
+	// Popularity-sorted anchors, name-ascending on share ties so the
+	// ranking is unique.
 	type kv struct {
 		m string
 		v float64
 	}
 	var sorted []kv
-	for m, c := range counts {
-		sorted = append(sorted, kv{m, c / total})
+	for _, m := range sortedKeys(k.vol) {
+		sorted = append(sorted, kv{m, float64(k.vol[m].calls) / total})
 	}
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].v > sorted[j].v })
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].v != sorted[j].v {
+			return sorted[i].v > sorted[j].v
+		}
+		return sorted[i].m < sorted[j].m
+	})
 	for i, e := range sorted {
 		if i < 10 {
 			res.Top10Share += e.v
@@ -93,17 +105,15 @@ func PopularityAnalysis(ds *workload.Dataset, latencyOrder *PerMethodResult) *Po
 	}
 	// Slowest decile: call share and time share.
 	cut := n - n/10
-	var slowTime, allTime float64
-	for m, t := range timeTotal {
-		allTime += t
-		_ = m
-	}
+	var slowTimeNs int64
 	for _, e := range res.ShareByLatencyRank[cut:] {
 		res.SlowDecileCalls += e.Share
-		slowTime += timeTotal[e.Method]
+		if v := k.vol[e.Method]; v != nil {
+			slowTimeNs += v.timeNs
+		}
 	}
-	if allTime > 0 {
-		res.SlowDecileTime = slowTime / allTime
+	if allTimeNs > 0 {
+		res.SlowDecileTime = float64(slowTimeNs) / float64(allTimeNs)
 	}
 	return res
 }

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"rpcscale/internal/fleet"
+	"rpcscale/internal/gwp"
 	"rpcscale/internal/monarch"
 	"rpcscale/internal/sim"
 	"rpcscale/internal/workload"
@@ -27,7 +29,44 @@ type ReportOptions struct {
 // FullReport runs every analysis of the study over a dataset and renders
 // the complete figure-by-figure report. It is what cmd/rpcanalyze and the
 // fleetstudy example print.
+//
+// Internally the dataset is replayed once through the streaming
+// accumulator plane (see ReportSink); for a fixed (Seed, Shards) pair the
+// output is byte-identical to StreamReport, which never materializes the
+// dataset at all.
 func FullReport(ds *workload.Dataset, opts ReportOptions) string {
+	return renderReport(sinkFor(ds), ds.Profile, opts)
+}
+
+// StreamReport generates the workload and renders the full report without
+// ever materializing a Dataset: each shard feeds its own ReportSink, the
+// sinks merge in shard-index order, and the figures render from the
+// merged accumulators. Memory stays bounded by the accumulator state (plus
+// the eight studied methods' retained spans) regardless of VolumeRoots.
+func StreamReport(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, cfg workload.RunConfig, opts ReportOptions) string {
+	sinks := make([]*ReportSink, 0, 16)
+	prof, _ := workload.Run(ctx, cat, topo, cfg, func(shard int) workload.SpanSink {
+		k := NewReportSink()
+		sinks = append(sinks, k)
+		return k
+	})
+	root := NewReportSink()
+	for _, k := range sinks {
+		root.Merge(k)
+	}
+	return renderReport(root, prof, opts)
+}
+
+// ReportFromSink renders the report from an externally-driven sink plus
+// a CPU profile snapshot. It is how cmd/rpcanalyze analyzes span dumps
+// out-of-core: scan the dump, feed each span to the sink, then render.
+func ReportFromSink(sink *ReportSink, prof *gwp.Snapshot, opts ReportOptions) string {
+	return renderReport(sink, prof, opts)
+}
+
+// renderReport renders the figure-by-figure report from accumulated
+// state. Both report paths (materialized and streaming) end here.
+func renderReport(sink *ReportSink, prof *gwp.Snapshot, opts ReportOptions) string {
 	var b strings.Builder
 	line := func(s string) {
 		b.WriteString(s)
@@ -49,47 +88,47 @@ func FullReport(ds *workload.Dataset, opts ReportOptions) string {
 	}
 
 	// Figs. 2-3
-	lat := LatencyByMethod(ds)
+	lat := sink.LatencyByMethod()
 	line(lat.Render())
 	line(lat.RenderHeatmap(64))
 	a := lat.Anchors()
 	line(fmt.Sprintf("Fig.2 anchors: P1<=657us %.0f%% | median>=10.7ms %.0f%% | P99>=1ms %.1f%% | P99>=225ms %.0f%% | slow-5%% P99 %v",
 		a.FracP1Under657us*100, a.FracMedianOver10ms*100, a.FracP99Over1ms*100,
 		a.FracP99Over225ms*100, a.Slow5pP99.Round(time.Millisecond)))
-	line(PopularityAnalysis(ds, lat).Render())
+	line(sink.PopularityAnalysis(lat).Render())
 
 	// Figs. 4-5
-	line(TreeShapeAnalysis(ds).Render())
+	line(sink.TreeShapeAnalysis().Render())
 
 	// Figs. 6-7
-	line(RequestSizeByMethod(ds).Render())
-	line(ResponseSizeByMethod(ds).Render())
-	line(SizeRatioByMethod(ds).Render())
+	line(sink.RequestSizeByMethod().Render())
+	line(sink.ResponseSizeByMethod().Render())
+	line(sink.SizeRatioByMethod().Render())
 
 	// Fig. 8 + Table 1
-	line(ServiceShareAnalysis(ds).Render())
+	line(sink.ServiceShares(prof).Render())
 	line(RenderEightServices())
 
 	// Figs. 10-13
-	line(TaxAnalysis(ds).Render())
-	line(TaxRatioByMethod(ds).Render())
-	line(TaxComponents(ds).Render())
+	line(sink.TaxAnalysis().Render())
+	line(sink.TaxRatioByMethod().Render())
+	line(sink.TaxComponents().Render())
 
 	// Fig. 14 panels + Fig. 15
 	var studied []string
 	for _, s := range fleet.EightServices() {
 		studied = append(studied, s.Method)
-		line(ServiceBreakdown(ds, s.Method).Render())
+		line(sink.ServiceBreakdown(s.Method).Render())
 	}
-	line(RenderWhatIf(WhatIf(ds, studied)))
+	line(RenderWhatIf(sink.WhatIf(studied)))
 
 	// Fig. 16
 	for _, method := range []string{"bigtable/SearchValue", "networkdisk/Write", "kvstore/Search"} {
-		line(ClusterVariation(ds, method, 0).Render())
+		line(sink.ClusterVariation(method, 0).Render())
 	}
 
 	// Fig. 17
-	line(RenderExoPanels(ExogenousAnalysis(ds, []string{
+	line(RenderExoPanels(sink.ExogenousAnalysis([]string{
 		"bigtable/SearchValue", "kvstore/Search", "videometadata/GetMetadata",
 	})))
 
@@ -117,9 +156,9 @@ func FullReport(ds *workload.Dataset, opts ReportOptions) string {
 	}
 
 	// Figs. 20-21
-	line(CycleTax(ds).Render())
-	line(CPUByMethod(ds).Render())
-	corr := CPUCorrelationAnalysis(ds)
+	line(CycleTaxFromProfile(prof).Render())
+	line(sink.CPUByMethod().Render())
+	corr := sink.CPUCorrelationAnalysis()
 	line(fmt.Sprintf("Fig.21 correlations: size-vs-CPU %.3f, latency-vs-CPU %.3f (paper: none)",
 		corr.SizeVsCPU, corr.LatencyVsCPU))
 
@@ -129,11 +168,11 @@ func FullReport(ds *workload.Dataset, opts ReportOptions) string {
 	}
 
 	// Fig. 23
-	line(ErrorAnalysis(ds).Render())
+	line(sink.ErrorAnalysis().Render())
 
 	// §2.5 / §5.2 implication studies.
-	line(OffloadCoverage(ds, 1500).Render())
-	line(OptimizationCoverage(ds).Render())
+	line(sink.OffloadCoverage().Render())
+	line(sink.OptimizationCoverage().Render())
 	if opts.Generator != nil {
 		gen := opts.Generator
 		line(ColocationStudy(func() *workload.Generator {

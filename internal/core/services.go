@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rpcscale/internal/fleet"
+	"rpcscale/internal/gwp"
 	"rpcscale/internal/stats"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/workload"
@@ -32,37 +33,45 @@ type ServiceShareResult struct {
 // ServiceShareAnalysis computes Fig. 8 from the volume mix and the GWP
 // profile.
 func ServiceShareAnalysis(ds *workload.Dataset) *ServiceShareResult {
-	calls := make(map[string]float64)
-	bytes := make(map[string]float64)
-	var totalCalls, totalBytes float64
-	for _, s := range ds.VolumeSpans {
-		if s.Hedged {
-			continue
-		}
-		calls[s.Service]++
-		totalCalls++
-		b := float64(s.RequestBytes + s.ResponseBytes)
-		bytes[s.Service] += b
-		totalBytes += b
+	return sinkFor(ds).ServiceShares(ds.Profile)
+}
+
+// ServiceShares computes Fig. 8 from accumulated per-service counts
+// (hedge duplicates excluded at accumulation time) plus the run's GWP
+// profile, which is carried separately from the span stream.
+func (k *ReportSink) ServiceShares(prof *gwp.Snapshot) *ServiceShareResult {
+	var totalCalls uint64
+	var totalBytes int64
+	for _, sv := range k.svc {
+		totalCalls += sv.calls
+		totalBytes += sv.bytes
 	}
 	cycles := make(map[string]float64)
 	var totalCycles float64
-	for _, sp := range ds.Profile.Services {
-		cycles[sp.Service] = sp.Total()
-		totalCycles += sp.Total()
+	if prof != nil {
+		for _, sp := range prof.Services {
+			cycles[sp.Service] = sp.Total()
+			totalCycles += sp.Total()
+		}
 	}
 	res := &ServiceShareResult{}
-	for svc, c := range calls {
-		row := ServiceShareRow{Service: svc, CallShare: c / totalCalls}
+	for _, svc := range sortedKeys(k.svc) {
+		sv := k.svc[svc]
+		row := ServiceShareRow{Service: svc, CallShare: float64(sv.calls) / float64(totalCalls)}
 		if totalBytes > 0 {
-			row.ByteShare = bytes[svc] / totalBytes
+			row.ByteShare = float64(sv.bytes) / float64(totalBytes)
 		}
 		if totalCycles > 0 {
 			row.CycleShare = cycles[svc] / totalCycles
 		}
 		res.Rows = append(res.Rows, row)
 	}
-	sort.Slice(res.Rows, func(i, j int) bool { return res.Rows[i].CallShare > res.Rows[j].CallShare })
+	sort.Slice(res.Rows, func(i, j int) bool {
+		if res.Rows[i].CallShare != res.Rows[j].CallShare {
+			return res.Rows[i].CallShare > res.Rows[j].CallShare
+		}
+		return res.Rows[i].Service < res.Rows[j].Service
+	})
 	for i, r := range res.Rows {
 		if i >= 8 {
 			break
@@ -134,7 +143,17 @@ type ServiceBreakdownResult struct {
 // ServiceBreakdown computes a Fig. 14 panel from intra-cluster spans of
 // the studied method.
 func ServiceBreakdown(ds *workload.Dataset, method string) *ServiceBreakdownResult {
-	spans := intraCluster(ds.SpansForMethod(method))
+	return serviceBreakdownFor(method, ds.SpansForMethod(method))
+}
+
+// ServiceBreakdown computes a Fig. 14 panel from the sink's retained
+// studied-method spans.
+func (k *ReportSink) ServiceBreakdown(method string) *ServiceBreakdownResult {
+	return serviceBreakdownFor(method, k.StudiedSpans(method))
+}
+
+func serviceBreakdownFor(method string, methodSpans []*trace.Span) *ServiceBreakdownResult {
+	spans := intraCluster(methodSpans)
 	res := &ServiceBreakdownResult{Method: method, Spans: len(spans)}
 	if len(spans) < 20 {
 		return res
@@ -239,9 +258,18 @@ type WhatIfRow struct {
 
 // WhatIf computes Fig. 15 for the studied methods.
 func WhatIf(ds *workload.Dataset, methods []string) []WhatIfRow {
+	return whatIfFor(methods, ds.SpansForMethod)
+}
+
+// WhatIf computes Fig. 15 from the sink's retained studied-method spans.
+func (k *ReportSink) WhatIf(methods []string) []WhatIfRow {
+	return whatIfFor(methods, k.StudiedSpans)
+}
+
+func whatIfFor(methods []string, spansOf func(string) []*trace.Span) []WhatIfRow {
 	var rows []WhatIfRow
 	for _, method := range methods {
-		spans := intraCluster(ds.SpansForMethod(method))
+		spans := intraCluster(spansOf(method))
 		if len(spans) < 50 {
 			rows = append(rows, WhatIfRow{Method: method})
 			continue
@@ -356,15 +384,26 @@ type ClusterVariationResult struct {
 
 // ClusterVariation computes Fig. 16 for one studied method.
 func ClusterVariation(ds *workload.Dataset, method string, minSpansPerCluster int) *ClusterVariationResult {
+	return clusterVariationFor(method, ds.SpansForMethod(method), minSpansPerCluster)
+}
+
+// ClusterVariation computes Fig. 16 from the sink's retained
+// studied-method spans.
+func (k *ReportSink) ClusterVariation(method string, minSpansPerCluster int) *ClusterVariationResult {
+	return clusterVariationFor(method, k.StudiedSpans(method), minSpansPerCluster)
+}
+
+func clusterVariationFor(method string, methodSpans []*trace.Span, minSpansPerCluster int) *ClusterVariationResult {
 	if minSpansPerCluster <= 0 {
 		minSpansPerCluster = 30
 	}
 	byCluster := make(map[string][]*trace.Span)
-	for _, s := range intraCluster(ds.SpansForMethod(method)) {
+	for _, s := range intraCluster(methodSpans) {
 		byCluster[s.ServerCluster] = append(byCluster[s.ServerCluster], s)
 	}
 	res := &ClusterVariationResult{Method: method}
-	for cl, spans := range byCluster {
+	for _, cl := range sortedKeys(byCluster) {
+		spans := byCluster[cl]
 		if len(spans) < minSpansPerCluster {
 			continue
 		}

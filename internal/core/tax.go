@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"rpcscale/internal/stats"
-	"rpcscale/internal/trace"
 	"rpcscale/internal/workload"
 )
 
@@ -40,60 +39,39 @@ type TaxResult struct {
 // fleet-absolute threshold, which would merely select the slowest
 // methods.
 func TaxAnalysis(ds *workload.Dataset) *TaxResult {
-	perMethodTotals := make(map[string]*stats.Sample)
-	for _, s := range ds.VolumeSpans {
-		if s.Err.IsError() {
-			continue
-		}
-		t := perMethodTotals[s.Method]
-		if t == nil {
-			t = stats.NewSample(64)
-			perMethodTotals[s.Method] = t
-		}
-		t.Add(float64(s.Breakdown.Total()))
-	}
-	p95Of := make(map[string]float64, len(perMethodTotals))
-	var fleet stats.Sample
-	for m, t := range perMethodTotals {
-		p95Of[m] = t.Quantile(0.95)
-		fleet.Add(t.Quantile(0.95))
-	}
-	fleetP95 := fleet.Quantile(0.5) // representative threshold for display
+	return sinkFor(ds).TaxAnalysis()
+}
 
-	var sumTotal, sumWire, sumStack, sumQueue float64
-	var tTotal, tWire, tStack, tQueue float64
-	n := 0
-	for _, s := range ds.VolumeSpans {
-		if s.Err.IsError() {
-			continue
-		}
-		n++
-		tot := float64(s.Breakdown.Total())
-		w := float64(s.Breakdown.Wire())
-		st := float64(s.Breakdown.Stack())
-		q := float64(s.Breakdown.Queue())
-		sumTotal += tot
-		sumWire += w
-		sumStack += st
-		sumQueue += q
-		if tot >= p95Of[s.Method] {
-			tTotal += tot
-			tWire += w
-			tStack += st
-			tQueue += q
-		}
+// TaxAnalysis computes Fig. 10 from accumulated state. The mean panel is
+// a ratio of exact integer nanosecond sums; the tail panel sums the
+// per-bucket component sums of each method's completion-time histogram at
+// and beyond its P95-rank bucket, the bounded-memory stand-in for
+// selecting raw spans at or beyond the method's exact P95.
+func (k *ReportSink) TaxAnalysis() *TaxResult {
+	names := sortedKeys(k.tax)
+	p95s := stats.NewSample(len(names))
+	var tTotal, tWire, tStack, tQueue int64
+	for _, name := range names {
+		t := k.tax[name]
+		p95s.Add(t.hist.Quantile(0.95))
+		tail := t.tail(0.95)
+		tTotal += tail[0]
+		tWire += tail[1]
+		tStack += tail[2]
+		tQueue += tail[3]
 	}
-	res := &TaxResult{P95Threshold: time.Duration(int64(fleetP95)), Spans: n}
-	if sumTotal > 0 {
-		res.WireShare = sumWire / sumTotal
-		res.StackShare = sumStack / sumTotal
-		res.QueueShare = sumQueue / sumTotal
+	// Representative threshold for display: the median method's P95.
+	res := &TaxResult{P95Threshold: time.Duration(int64(p95s.Quantile(0.5))), Spans: k.taxSpans}
+	if k.taxTot > 0 {
+		res.WireShare = float64(k.taxWire) / float64(k.taxTot)
+		res.StackShare = float64(k.taxStack) / float64(k.taxTot)
+		res.QueueShare = float64(k.taxQueue) / float64(k.taxTot)
 		res.MeanTaxShare = res.WireShare + res.StackShare + res.QueueShare
 	}
 	if tTotal > 0 {
-		res.TailWireShare = tWire / tTotal
-		res.TailStackShare = tStack / tTotal
-		res.TailQueueShare = tQueue / tTotal
+		res.TailWireShare = float64(tWire) / float64(tTotal)
+		res.TailStackShare = float64(tStack) / float64(tTotal)
+		res.TailQueueShare = float64(tQueue) / float64(tTotal)
 		res.TailTaxShare = res.TailWireShare + res.TailStackShare + res.TailQueueShare
 	}
 	return res
@@ -122,14 +100,12 @@ type TaxRatioByMethodResult struct {
 
 // TaxRatioByMethod computes Fig. 11 from stratified samples.
 func TaxRatioByMethod(ds *workload.Dataset) *TaxRatioByMethodResult {
-	base := perMethod(ds, "tax ratio", "ratio", 1e-6, 1.1,
-		func(s *trace.Span) (float64, bool) {
-			ratio := s.Breakdown.TaxRatio()
-			if ratio <= 0 {
-				return 1e-6, true
-			}
-			return ratio, true
-		})
+	return sinkFor(ds).TaxRatioByMethod()
+}
+
+// TaxRatioByMethod computes Fig. 11 from accumulated state.
+func (k *ReportSink) TaxRatioByMethod() *TaxRatioByMethodResult {
+	base := k.perMethodResult("tax ratio", "ratio", func(a *methodAccum) *stats.Hist { return a.taxRatio })
 	res := &TaxRatioByMethodResult{Rows: base.Rows}
 	n := len(res.Rows)
 	if n == 0 {
@@ -178,13 +154,14 @@ type TaxComponentsResult struct {
 
 // TaxComponents computes Figs. 12/13.
 func TaxComponents(ds *workload.Dataset) *TaxComponentsResult {
+	return sinkFor(ds).TaxComponents()
+}
+
+// TaxComponents computes Figs. 12/13 from accumulated state.
+func (k *ReportSink) TaxComponents() *TaxComponentsResult {
 	res := &TaxComponentsResult{
-		WireNet: perMethod(ds, "wire + stack latency", "ns", 100, stats.DefaultGrowth,
-			func(s *trace.Span) (float64, bool) {
-				return float64(s.Breakdown.Wire() + s.Breakdown.Stack()), true
-			}),
-		Queue: perMethod(ds, "queuing latency", "ns", 100, stats.DefaultGrowth,
-			func(s *trace.Span) (float64, bool) { return float64(s.Breakdown.Queue()), true }),
+		WireNet: k.perMethodResult("wire + stack latency", "ns", func(a *methodAccum) *stats.Hist { return a.wireNet }),
+		Queue:   k.perMethodResult("queuing latency", "ns", func(a *methodAccum) *stats.Hist { return a.queue }),
 	}
 	// Fig. 12: methods sorted by median wire+stack; anchor P99s.
 	if n := len(res.WireNet.Rows); n > 0 {

@@ -36,10 +36,19 @@ type TreeShapeResult struct {
 // TreeShapeAnalysis computes Figs. 4/5 from the per-method shape samples
 // gathered during generation.
 func TreeShapeAnalysis(ds *workload.Dataset) *TreeShapeResult {
+	return treeShapeFrom(ds.DescendantsByMethod, ds.AncestorsByMethod)
+}
+
+// TreeShapeAnalysis computes Figs. 4/5 from accumulated shape samples.
+func (k *ReportSink) TreeShapeAnalysis() *TreeShapeResult {
+	return treeShapeFrom(k.desc, k.anc)
+}
+
+func treeShapeFrom(descBy, ancBy map[string]*stats.Sample) *TreeShapeResult {
 	res := &TreeShapeResult{}
-	for _, name := range sortedKeys(ds.DescendantsByMethod) {
-		desc := ds.DescendantsByMethod[name]
-		anc := ds.AncestorsByMethod[name]
+	for _, name := range sortedKeys(descBy) {
+		desc := descBy[name]
+		anc := ancBy[name]
 		if desc == nil || desc.Len() < 20 {
 			continue
 		}

@@ -93,6 +93,38 @@ func (p *Profiler) Record(service, method string, cat Category, cycles float64) 
 	p.byMethod[method] += cycles
 }
 
+// Merge folds all cycles recorded in other into p. Each (service,
+// category) and method key is combined with a single addition, so the
+// result of merging a fixed sequence of profilers is deterministic
+// regardless of map iteration order. Generation shards record into
+// private profilers and merge them in shard-index order, which keeps
+// floating-point accumulation identical from run to run.
+func (p *Profiler) Merge(other *Profiler) {
+	if other == nil {
+		return
+	}
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c, v := range other.byCat {
+		p.byCat[c] += v
+	}
+	for name, osp := range other.bySvc {
+		sp := p.bySvc[name]
+		if sp == nil {
+			sp = &ServiceProfile{Service: name}
+			p.bySvc[name] = sp
+		}
+		for c, v := range osp.ByCat {
+			sp.ByCat[c] += v
+		}
+	}
+	for m, v := range other.byMethod {
+		p.byMethod[m] += v
+	}
+}
+
 // Snapshot is a point-in-time view of fleet cycle attribution.
 type Snapshot struct {
 	ByCat    [NumCategories]float64

@@ -29,6 +29,16 @@ func BenchmarkHistQuantile(b *testing.B) {
 	}
 }
 
+func BenchmarkBottomKOffer(b *testing.B) {
+	k := NewBottomK(1 << 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := Mix64(uint64(i))
+		k.Offer(x, uint64(i), [3]float64{float64(i), float64(i * 2), float64(i * 3)})
+	}
+}
+
 func BenchmarkLogNormalSample(b *testing.B) {
 	rng := NewRNG(3)
 	d := LogNormal{Mu: 13, Sigma: 1.5}

@@ -205,6 +205,52 @@ func (h *Hist) Quantile(q float64) float64 {
 // Percentile is Quantile with p expressed in percent (P50 => 50).
 func (h *Hist) Percentile(p float64) float64 { return h.Quantile(p / 100) }
 
+// BucketIndex returns the index of the bucket that counts v, or -1 when v
+// lands in the underflow bucket (non-positive, NaN, or below the
+// histogram floor). It lets accumulators maintain per-bucket side state
+// (e.g. conditional sums) in parallel with the histogram's own counts.
+func (h *Hist) BucketIndex(v float64) int {
+	if !(v > 0) || math.IsNaN(v) || v < h.min {
+		return -1
+	}
+	return h.bucket(v)
+}
+
+// RankBucket returns the index of the bucket holding the q-quantile's
+// rank — the same rank Quantile walks to — or -1 when that rank falls in
+// the underflow bucket or the histogram is empty. Combined with
+// BucketIndex it supports tail-conditional aggregation ("sum of X over
+// observations at or above P95") without retaining raw values.
+func (h *Hist) RankBucket(q float64) int {
+	if h.total == 0 {
+		return -1
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= h.under {
+		return -1
+	}
+	seen := h.under
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			return i
+		}
+		seen += c
+	}
+	return len(h.counts) - 1
+}
+
 // CountAbove returns how many observations fall in buckets whose lower
 // bound is >= v (approximate to bucket resolution).
 func (h *Hist) CountAbove(v float64) uint64 {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 )
 
@@ -114,25 +115,79 @@ func WriteSpans(w io.Writer, spans []*Span) error {
 	return bw.Flush()
 }
 
-// ReadSpans parses a JSON-lines span stream.
-func ReadSpans(r io.Reader) ([]*Span, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	var out []*Span
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var rec SpanRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("trace: line %d: %w", line, err)
-		}
-		out = append(out, rec.ToSpan())
+// SpanWriter streams spans to an underlying writer as JSON lines. It is
+// safe for concurrent use, so generation shards can write spans as they
+// produce them without materializing the dataset first. Interleaving
+// across concurrent writers is arbitrary, but each record is written
+// atomically, so the dump content is well-formed regardless of schedule.
+type SpanWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   uint64
+}
+
+// NewSpanWriter returns a writer streaming JSON-lines span records to w.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	return &SpanWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write encodes one span.
+func (w *SpanWriter) Write(s *Span) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(ToRecord(s)); err != nil {
+		return fmt.Errorf("trace: encoding span: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: reading spans: %w", err)
+	w.n++
+	return nil
+}
+
+// Count returns how many spans have been written.
+func (w *SpanWriter) Count() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// Flush writes any buffered records to the underlying writer.
+func (w *SpanWriter) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bw.Flush()
+}
+
+// ScanSpans streams a JSON-lines span dump to fn one span at a time, so
+// arbitrarily large dumps can be analyzed out-of-core with memory bounded
+// by a single record. It uses a json.Decoder with a growable buffer, so
+// records are not subject to any fixed line-length cap. Scanning stops at
+// the first error, including any error returned by fn.
+func ScanSpans(r io.Reader, fn func(*Span) error) error {
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	for n := 1; ; n++ {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("trace: span record %d: %w", n, err)
+		}
+		if err := fn(rec.ToSpan()); err != nil {
+			return err
+		}
+	}
+}
+
+// ReadSpans parses a JSON-lines span stream into memory. Prefer ScanSpans
+// when the spans can be consumed one at a time.
+func ReadSpans(r io.Reader) ([]*Span, error) {
+	var out []*Span
+	err := ScanSpans(r, func(s *Span) error {
+		out = append(out, s)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -37,6 +37,12 @@ type RunConfig struct {
 	// Shards is the generation parallelism. Results are deterministic
 	// for a fixed (Seed, Shards) pair; the default is 8.
 	Shards int
+
+	// RetainSpans makes Run buffer every generated span into a Dataset
+	// on top of streaming it to the caller's sinks. Generate forces it;
+	// pure streaming consumers leave it false and run at bounded memory
+	// regardless of the configured volume.
+	RetainSpans bool
 }
 
 // DefaultRun returns the test-scale run configuration.
@@ -119,20 +125,9 @@ type Dataset struct {
 	Profile *gwp.Snapshot
 }
 
-// shardResult carries one shard's output back to the merger.
-type shardResult struct {
-	methodSpans map[string][]*trace.Span
-	volume      []*trace.Span
-	treeSpans   []*trace.Span
-	desc        map[string]*stats.Sample
-	anc         map[string]*stats.Sample
-	exo         map[string][]ExoObservation
-}
-
-// Generate runs the full pipeline, sharded across cfg.Shards goroutines.
-// Output is deterministic for a fixed (Seed, Shards) pair: each shard's
-// stream depends only on its own derived seed, and shards are merged in
-// index order.
+// Generate runs the full pipeline and materializes everything into a
+// Dataset. It is Run with span retention forced on and no caller sinks:
+// the buffered path that existing figure analyses and tests consume.
 //
 // Cancelling ctx stops every shard at its next sample boundary; the
 // partial dataset accumulated so far is still returned (and is still
@@ -140,8 +135,86 @@ type shardResult struct {
 // interrupted without losing everything.
 func Generate(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, cfg RunConfig) *Dataset {
 	cfg = cfg.withDefaults()
-	prof := gwp.New() // thread-safe; shared across shards
+	cfg.RetainSpans = true
+	_, ds := Run(ctx, cat, topo, cfg, nil)
+	return ds
+}
 
+// Run executes the generation pipeline, sharded across cfg.Shards
+// goroutines, streaming each shard's output to the sink built by factory
+// for that shard index. factory is called sequentially for shards
+// 0..Shards-1 before any generation starts and may be nil (or return
+// nil) when only retention or the CPU profile is wanted; each returned
+// sink is used by a single shard goroutine only, so sinks need no
+// internal locking.
+//
+// Output is deterministic for a fixed (Seed, Shards) pair: each shard's
+// stream depends only on its own derived seed, each shard records cycles
+// into a private profiler, and profilers (like any caller-side shard
+// accumulators) are merged in shard-index order.
+//
+// The returned Dataset is nil unless cfg.RetainSpans is set, in which
+// case every span is additionally buffered Dataset-style (this is what
+// Generate does). With RetainSpans off, memory stays bounded by the
+// sinks' own state however large the configured volume is.
+func Run(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, cfg RunConfig, factory func(shard int) SpanSink) (*gwp.Snapshot, *Dataset) {
+	cfg = cfg.withDefaults()
+
+	studied := make(map[string]bool)
+	for _, s := range fleet.EightServices() {
+		studied[s.Method] = true
+	}
+	roots := entryMethods(cat)
+
+	var dsSinks []*datasetSink
+	if cfg.RetainSpans {
+		dsSinks = make([]*datasetSink, cfg.Shards)
+	}
+	sinks := make([]SpanSink, cfg.Shards)
+	profs := make([]*gwp.Profiler, cfg.Shards)
+	for shard := 0; shard < cfg.Shards; shard++ {
+		var parts teeSink
+		if factory != nil {
+			if s := factory(shard); s != nil {
+				parts = append(parts, s)
+			}
+		}
+		if cfg.RetainSpans {
+			dsSinks[shard] = newDatasetSink()
+			parts = append(parts, dsSinks[shard])
+		}
+		switch len(parts) {
+		case 0:
+			sinks[shard] = nopSink{}
+		case 1:
+			sinks[shard] = parts[0]
+		default:
+			sinks[shard] = parts
+		}
+		profs[shard] = gwp.New()
+	}
+
+	var wg sync.WaitGroup
+	for shard := 0; shard < cfg.Shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			runShard(ctx, cat, topo, profs[shard], cfg, studied, roots, shard, sinks[shard])
+		}(shard)
+	}
+	wg.Wait()
+
+	// Merge per-shard profilers in shard order for deterministic
+	// floating-point accumulation.
+	prof := gwp.New()
+	for _, p := range profs {
+		prof.Merge(p)
+	}
+	snap := prof.Snapshot()
+
+	if !cfg.RetainSpans {
+		return snap, nil
+	}
 	ds := &Dataset{
 		Cat:                 cat,
 		Topo:                topo,
@@ -150,40 +223,21 @@ func Generate(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, cfg R
 		AncestorsByMethod:   make(map[string]*stats.Sample),
 		ExoByMethod:         make(map[string][]ExoObservation),
 	}
-
-	studied := make(map[string]bool)
-	for _, s := range fleet.EightServices() {
-		studied[s.Method] = true
-	}
-	roots := entryMethods(cat)
-
-	results := make([]shardResult, cfg.Shards)
-	var wg sync.WaitGroup
-	for shard := 0; shard < cfg.Shards; shard++ {
-		wg.Add(1)
-		go func(shard int) {
-			defer wg.Done()
-			results[shard] = runShard(ctx, cat, topo, prof, cfg, studied, roots, shard)
-		}(shard)
-	}
-	wg.Wait()
-
-	// Merge in shard order for determinism.
-	for _, r := range results {
-		for name, spans := range r.methodSpans {
+	for _, d := range dsSinks {
+		for name, spans := range d.methodSpans {
 			ds.MethodSpans[name] = append(ds.MethodSpans[name], spans...)
 		}
-		ds.VolumeSpans = append(ds.VolumeSpans, r.volume...)
-		ds.TreeSpans = append(ds.TreeSpans, r.treeSpans...)
-		mergeSamples(ds.DescendantsByMethod, r.desc)
-		mergeSamples(ds.AncestorsByMethod, r.anc)
-		for name, obs := range r.exo {
+		ds.VolumeSpans = append(ds.VolumeSpans, d.volume...)
+		ds.TreeSpans = append(ds.TreeSpans, d.treeSpans...)
+		mergeSamples(ds.DescendantsByMethod, d.desc)
+		mergeSamples(ds.AncestorsByMethod, d.anc)
+		for name, obs := range d.exo {
 			ds.ExoByMethod[name] = append(ds.ExoByMethod[name], obs...)
 		}
 	}
 	ds.Trees = trace.BuildTrees(ds.TreeSpans)
-	ds.Profile = prof.Snapshot()
-	return ds
+	ds.Profile = snap
+	return snap, ds
 }
 
 func mergeSamples(dst, src map[string]*stats.Sample) {
@@ -199,11 +253,12 @@ func mergeSamples(dst, src map[string]*stats.Sample) {
 	}
 }
 
-// runShard produces one shard's slice of the dataset: every method's
-// stratified samples are split across shards, as are the volume roots and
-// trees. Cancellation is checked between samples, so a shard never tears
-// down a half-generated call tree.
-func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg RunConfig, studied map[string]bool, roots []*fleet.Method, shard int) shardResult {
+// runShard produces one shard's slice of the generation stream: every
+// method's stratified samples are split across shards, as are the volume
+// roots and trees. Each span is handed to the sink the moment it exists.
+// Cancellation is checked between samples, so a shard never tears down a
+// half-generated call tree.
+func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof *gwp.Profiler, cfg RunConfig, studied map[string]bool, roots []*fleet.Method, shard int, sink SpanSink) {
 	done := ctx.Done()
 	cancelled := func() bool {
 		select {
@@ -215,26 +270,6 @@ func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof 
 	}
 	gen := NewGeneratorShard(cat, topo, prof, cfg.Seed, shard)
 	rng := stats.NewRNG(cfg.Seed).Child(fmt.Sprintf("dataset-%d", shard))
-	r := shardResult{
-		methodSpans: make(map[string][]*trace.Span),
-		desc:        make(map[string]*stats.Sample),
-		anc:         make(map[string]*stats.Sample),
-		exo:         make(map[string][]ExoObservation),
-	}
-	observeShape := func(method string, descendants, ancestors int) {
-		d := r.desc[method]
-		if d == nil {
-			d = stats.NewSample(0)
-			r.desc[method] = d
-		}
-		d.Add(float64(descendants))
-		a := r.anc[method]
-		if a == nil {
-			a = stats.NewSample(0)
-			r.anc[method] = a
-		}
-		a.Add(float64(ancestors))
-	}
 	share := func(total int) int {
 		n := total / cfg.Shards
 		if shard < total%cfg.Shards {
@@ -250,29 +285,25 @@ func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof 
 			total = cfg.StudiedSamples
 		}
 		n := share(total)
-		spans := make([]*trace.Span, 0, n)
 		for i := 0; i < n; i++ {
 			if cancelled() {
-				r.methodSpans[m.Name] = spans
-				return r
+				return
 			}
 			at := time.Duration(rng.Float64() * float64(24*time.Hour))
 			obs := gen.Call(m, CallOptions{At: at, MaxDepth: cfg.MaxDepth, Budget: cfg.TreeBudget})
-			spans = append(spans, obs.Span)
-			observeShape(m.Name, obs.Descendants, obs.Ancestors)
+			sink.MethodSpan(obs.Span)
+			sink.TreeShape(m.Name, obs.Descendants, obs.Ancestors)
 			if studied[m.Name] {
-				r.exo[m.Name] = append(r.exo[m.Name], ExoObservation{Span: obs.Span, Exo: obs.Exo})
+				sink.ExoSample(m.Name, obs.Span, obs.Exo)
 			}
 		}
-		r.methodSpans[m.Name] = spans
 	}
 
 	// --- Volume run: the fleet call mix. ---
 	nVolume := share(cfg.VolumeRoots)
-	r.volume = make([]*trace.Span, 0, nVolume+nVolume/50)
 	for i := 0; i < nVolume; i++ {
 		if cancelled() {
-			return r
+			return
 		}
 		m := cat.SampleMethod(rng)
 		at := time.Duration(rng.Float64() * float64(24*time.Hour))
@@ -281,18 +312,17 @@ func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof 
 		// sample stands for itself, with a shallow child layer for the
 		// parent-includes-children latency semantics.
 		obs := gen.Call(m, CallOptions{At: at, MaxDepth: 2, Budget: 64})
-		r.volume = append(r.volume, obs.Span)
+		sink.VolumeSpan(obs.Span)
 		// Hedging-induced cancellations at the fleet mix level.
 		if rng.Bool(m.HedgeProb * cancelPerHedge) {
-			r.volume = append(r.volume, gen.HedgedCancellation(m, at))
+			sink.VolumeSpan(gen.HedgedCancellation(m, at))
 		}
 	}
 
 	// --- Tree run: materialized call trees rooted at entry points. ---
-	collector := trace.New()
 	for i := 0; i < share(cfg.Trees); i++ {
 		if cancelled() {
-			break
+			return
 		}
 		m := roots[rng.Intn(len(roots))]
 		at := time.Duration(rng.Float64() * float64(24*time.Hour))
@@ -300,13 +330,11 @@ func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof 
 			At: at, MaxDepth: cfg.MaxDepth, Budget: cfg.TreeBudget,
 			Materialize: true,
 			Observe: func(o CallObservation) {
-				collector.Collect(o.Span)
-				observeShape(o.Span.Method, o.Descendants, o.Ancestors)
+				sink.TreeSpan(o.Span)
+				sink.TreeShape(o.Span.Method, o.Descendants, o.Ancestors)
 			},
 		})
 	}
-	r.treeSpans = collector.Spans()
-	return r
 }
 
 // entryMethods returns the call-tree roots: the highest-layer methods,
@@ -329,7 +357,11 @@ func entryMethods(cat *fleet.Catalog) []*fleet.Method {
 }
 
 // AllSpans returns the union of every span set (for fleet-wide error and
-// byte accounting that wants maximum sample volume).
+// byte accounting that wants maximum sample volume). The returned slice
+// is freshly allocated on every call — it copies nothing but the span
+// pointers, and callers may reorder or truncate it freely — so streaming
+// consumers that only need to visit each span once should prefer feeding
+// a SpanSink via Run instead of paying for the union.
 func (ds *Dataset) AllSpans() []*trace.Span {
 	out := make([]*trace.Span, 0,
 		len(ds.VolumeSpans)+len(ds.TreeSpans)+len(ds.MethodSpans)*8)
