@@ -49,7 +49,7 @@ func main() {
 		sample    = flag.Uint64("sample", 1, "trace 1-in-N calls (Monarch/GWP still see all)")
 		errorRate = flag.Float64("errorrate", 0, "fraction of calls the handler fails")
 		chaos     = flag.Bool("chaos", false, "run the deterministic fault-injection scenario instead")
-		seed      = flag.Uint64("seed", 42, "chaos fault schedule seed")
+		seed      = flag.Uint64("seed", 42, "fault-schedule / -errorrate injection seed")
 		budget    = flag.Bool("budget", false, "chaos: cap retry amplification with a retry budget")
 	)
 	flag.Parse()
@@ -89,11 +89,14 @@ func main() {
 	srv := rpcscale.NewServer(stack...)
 	var calls uint64
 	var callMu sync.Mutex
+	// Error injection draws from a rand seeded by -seed (never the global
+	// source) so a fixed seed fails the same calls run after run.
+	rng := rand.New(rand.NewPCG(*seed, 0))
 	srv.Register("bench.Echo/Echo", func(ctx context.Context, p []byte) ([]byte, error) {
 		if *errorRate > 0 {
 			callMu.Lock()
 			calls++
-			fail := rand.Float64() < *errorRate
+			fail := rng.Float64() < *errorRate
 			callMu.Unlock()
 			if fail {
 				return nil, errors.New("injected failure")

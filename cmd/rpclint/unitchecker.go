@@ -1,0 +1,164 @@
+package main
+
+// The go vet driver protocol ("unitchecker"): `go vet -vettool=rpclint`
+// invokes the tool once per package with a JSON .cfg file describing the
+// unit — file lists, the import map, and compiler export data for every
+// dependency. The tool type-checks the unit against that export data
+// (no source re-traversal, works offline), runs the analyzers, and
+// reports findings on stderr (exit 2) or, under -json, as the vet JSON
+// object on stdout.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"rpcscale/internal/analysis"
+)
+
+// vetConfig mirrors the fields of the go command's vet config that
+// rpclint consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpclint:", err)
+		os.Exit(1)
+	}
+	// rpclint carries no cross-package facts, but the driver expects the
+	// facts file to exist before it will cache the action.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "rpclint:", err)
+			os.Exit(1)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	pkg, err := loadUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "rpclint:", err)
+		os.Exit(1)
+	}
+	findings, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.Analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpclint:", err)
+		os.Exit(1)
+	}
+	if len(findings) == 0 {
+		return
+	}
+	if *jsonOut {
+		emitVetJSON(cfg.ImportPath, findings)
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	os.Exit(2)
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// loadUnit parses the unit's files and type-checks them against the
+// driver-provided export data.
+func loadUnit(cfg *vetConfig) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(importPath string) (io.ReadCloser, error) {
+		canonical, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no mapping for import %q", importPath)
+		}
+		file, ok := cfg.PackageFile[canonical]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q; run rpclint via go vet", canonical)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{
+		PkgPath:   cfg.ImportPath,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// emitVetJSON prints findings in the go vet -json shape:
+// {"pkgpath": {"analyzer": [{"posn": ..., "message": ...}]}}.
+func emitVetJSON(pkgPath string, findings []analysis.Finding) {
+	type diag struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	byAnalyzer := make(map[string][]diag)
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], diag{
+			Posn:    fmt.Sprintf("%s:%d:%d", f.File, f.Line, f.Col),
+			Message: f.Message,
+		})
+	}
+	out := map[string]map[string][]diag{pkgPath: byAnalyzer}
+	data, err := json.MarshalIndent(out, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpclint:", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(append(data, '\n'))
+}

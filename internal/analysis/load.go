@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("rpcscale/internal/sim"; for
+	// GOPATH-style fixture roots, the path relative to the root).
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	// TypesInfo holds resolved uses/defs/types for Files. Type errors do
+	// not abort loading — analyzers degrade to whatever was resolved —
+	// but are retained in TypeErrors.
+	TypesInfo  *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages without the go command or any
+// external dependency. Module-local imports are resolved by the loader
+// itself (recursively, from source); everything else goes through the
+// standard library's source importer, which reads GOROOT — so loading
+// works offline and without export data.
+type Loader struct {
+	// Root is the directory patterns are resolved against: a module root
+	// (go.mod present) or a GOPATH-style src directory for test fixtures.
+	Root string
+	// ModPath is the module path from go.mod, or "" for a GOPATH-style
+	// root, where import paths are root-relative directories.
+	ModPath string
+	// IncludeTests adds in-package _test.go files of the requested
+	// packages (external _test packages are never loaded).
+	IncludeTests bool
+
+	fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*loadResult
+	// roots marks the packages requested via patterns (as opposed to
+	// dependencies pulled in by imports); only roots get test files.
+	roots map[string]bool
+}
+
+type loadResult struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader builds a loader rooted at dir. If dir (or an ancestor)
+// contains a go.mod, the module root and path are used; otherwise dir is
+// treated as a GOPATH-style source root.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath := findModule(abs)
+	if root == "" {
+		root, modPath = abs, ""
+	}
+	fset := token.NewFileSet()
+	// The source importer type-checks GOROOT packages from source; with
+	// cgo disabled it selects the pure-Go files, which is all the
+	// analyzers need and the only configuration that works without
+	// invoking the cgo tool.
+	build.Default.CgoEnabled = false
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("analysis: source importer unavailable")
+	}
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     std,
+		cache:   make(map[string]*loadResult),
+		roots:   make(map[string]bool),
+	}, nil
+}
+
+// findModule walks up from dir looking for go.mod; it returns the module
+// root and module path, or "", "".
+func findModule(dir string) (root, modPath string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if after, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(after)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
+}
+
+// Load resolves patterns ("./...", "./internal/stubby", "internal/sim")
+// to package directories under Root and returns them type-checked, in
+// deterministic (import path) order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, dir := range dirs {
+		l.roots[l.importPath(dir)] = true
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		path := l.importPath(dir)
+		res := l.load(path, dir)
+		if res.err != nil {
+			return nil, fmt.Errorf("%s: %w", path, res.err)
+		}
+		if res.pkg != nil {
+			pkgs = append(pkgs, res.pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// expand turns patterns into package directories (directories containing
+// at least one non-test .go file).
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] && hasGoFiles(dir) {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.Root, pat)
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPath maps a package directory under Root to its import path.
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		rel = ""
+	}
+	rel = filepath.ToSlash(rel)
+	switch {
+	case l.ModPath == "":
+		return rel
+	case rel == "":
+		return l.ModPath
+	default:
+		return l.ModPath + "/" + rel
+	}
+}
+
+// dirFor maps an import path back to a directory under Root, or "" when
+// the path is not local.
+func (l *Loader) dirFor(path string) string {
+	if l.ModPath == "" {
+		// GOPATH-style root: every single- or multi-segment path is a
+		// candidate directory.
+		dir := filepath.Join(l.Root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir
+		}
+		return ""
+	}
+	if path == l.ModPath {
+		return l.Root
+	}
+	if after, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(after))
+	}
+	return ""
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local paths load from
+// source through the loader; everything else defers to the stdlib source
+// importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if local := l.dirFor(path); local != "" {
+		res := l.load(path, local)
+		if res.err != nil {
+			return nil, res.err
+		}
+		return res.pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// load parses and type-checks one local package (memoized).
+func (l *Loader) load(path, dir string) *loadResult {
+	if res, ok := l.cache[path]; ok {
+		return res
+	}
+	// Mark in-progress to fail fast on import cycles instead of
+	// recursing forever.
+	l.cache[path] = &loadResult{err: fmt.Errorf("import cycle through %s", path)}
+	res := l.check(path, dir)
+	l.cache[path] = res
+	return res
+}
+
+func (l *Loader) check(path, dir string) *loadResult {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return &loadResult{err: err}
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !(l.IncludeTests && l.roots[path]) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	var pkgName string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return &loadResult{err: err}
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		if f.Name.Name != pkgName && f.Name.Name != pkgName+"_test" {
+			continue // ignore stray-package files (e.g. main in a lib dir)
+		}
+		if f.Name.Name != pkgName {
+			continue // external test package files
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return &loadResult{err: fmt.Errorf("no Go files in %s", dir)}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if tpkg == nil {
+		return &loadResult{err: err}
+	}
+	return &loadResult{pkg: &Package{
+		PkgPath:    path,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+		TypeErrors: typeErrs,
+	}}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Finding is one reported diagnostic in driver-friendly form; the JSON
+// field names are the machine-readable contract of `rpclint -json`.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// RunAnalyzers applies the analyzers to every package, resolves
+// //rpclint:ignore suppressions, and returns the surviving findings
+// sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		var pkgFindings []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				p := pkg.Fset.Position(d.Pos)
+				pkgFindings = append(pkgFindings, Finding{
+					File:     p.Filename,
+					Line:     p.Line,
+					Col:      p.Column,
+					Analyzer: a.Name,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		dirs := collectDirectives(pkg.Fset, pkg.Files)
+		findings = append(findings, applySuppressions(pkgFindings, dirs)...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}

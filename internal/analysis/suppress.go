@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full form is
+//
+//	//rpclint:ignore <analyzer[,analyzer...]> <reason>
+//
+// placed on the flagged line or on the line directly above it. "all"
+// suppresses every analyzer. The reason is mandatory: a directive without
+// one suppresses nothing and is itself reported (analyzer name "ignore"),
+// so every silenced finding carries its justification in the source.
+const ignorePrefix = "rpclint:ignore"
+
+// IgnoreAnalyzerName is the analyzer name under which malformed
+// //rpclint:ignore directives are reported.
+const IgnoreAnalyzerName = "ignore"
+
+// directive is one parsed //rpclint:ignore comment.
+type directive struct {
+	pos    token.Pos
+	file   string
+	line   int
+	names  map[string]bool
+	reason string
+}
+
+func (d *directive) covers(analyzer string) bool {
+	return d.names["all"] || d.names[analyzer]
+}
+
+// collectDirectives extracts every rpclint:ignore directive from the
+// files' comments.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments do not carry directives
+				}
+				text, ok = strings.CutPrefix(strings.TrimPrefix(text, " "), ignorePrefix)
+				if !ok {
+					continue
+				}
+				d := parseDirective(text)
+				p := fset.Position(c.Pos())
+				d.pos, d.file, d.line = c.Pos(), p.Filename, p.Line
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// parseDirective parses the part after "rpclint:ignore": an analyzer
+// list, then the free-form reason. Fixture files embed "// want ..."
+// expectations in the same comment; anything from such a marker on is
+// not part of the reason.
+func parseDirective(text string) directive {
+	if i := strings.Index(text, "// want"); i >= 0 {
+		text = text[:i]
+	}
+	d := directive{names: make(map[string]bool)}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return d
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			d.names[n] = true
+		}
+	}
+	d.reason = strings.Join(fields[1:], " ")
+	return d
+}
+
+// applySuppressions drops findings covered by a well-formed directive on
+// their own line or the line above, and appends one "ignore" finding per
+// directive that lacks a reason or names no analyzer.
+func applySuppressions(findings []Finding, dirs []directive) []Finding {
+	type key struct {
+		file string
+		line int
+	}
+	byLine := make(map[key][]*directive)
+	for i := range dirs {
+		d := &dirs[i]
+		byLine[key{d.file, d.line}] = append(byLine[key{d.file, d.line}], d)
+	}
+	suppressed := func(f Finding) bool {
+		for _, line := range [2]int{f.Line, f.Line - 1} {
+			for _, d := range byLine[key{f.File, line}] {
+				if d.reason != "" && d.covers(f.Analyzer) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if !suppressed(f) {
+			out = append(out, f)
+		}
+	}
+	for _, d := range dirs {
+		switch {
+		case len(d.names) == 0:
+			out = append(out, Finding{
+				File: d.file, Line: d.line, Analyzer: IgnoreAnalyzerName,
+				Message: "rpclint:ignore names no analyzer; write //rpclint:ignore <analyzer> <reason>",
+			})
+		case d.reason == "":
+			out = append(out, Finding{
+				File: d.file, Line: d.line, Analyzer: IgnoreAnalyzerName,
+				Message: "rpclint:ignore without a reason suppresses nothing; write //rpclint:ignore <analyzer> <reason>",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package lockheld exercises the lockheld analyzer: blocking channel
+// operations, net I/O, and RPC dispatch inside a mutex critical section
+// are flagged; released locks, select-with-default, and goroutine bodies
+// pass.
+package lockheld
+
+import (
+	"net"
+	"sync"
+)
+
+type Conn struct {
+	mu    sync.Mutex
+	ch    chan int
+	calls int
+}
+
+func (c *Conn) SendLocked(v int) {
+	c.mu.Lock()
+	c.ch <- v // want `lockheld: channel send while c\.mu is held`
+	c.mu.Unlock()
+}
+
+func (c *Conn) SendAfter(v int) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	c.ch <- v // lock released before the send: fine
+}
+
+func (c *Conn) RecvDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-c.ch // want `lockheld: channel receive while c\.mu is held`
+}
+
+// TryPut sends inside a select that has a default clause: non-blocking.
+func (c *Conn) TryPut(v int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Conn) DialLocked(addr string) (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return net.Dial("tcp", addr) // want `lockheld: net\.Dial I/O while c\.mu is held`
+}
+
+// Spawn holds the lock only at goroutine spawn time; the literal's body
+// is its own scope.
+func (c *Conn) Spawn(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.ch <- v
+	}()
+}
+
+type stub struct{}
+
+func (stub) Invoke(method string) error { return nil }
+
+func (c *Conn) CallLocked(s stub) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return s.Invoke("m") // want `lockheld: RPC dispatch via Invoke while c\.mu is held`
+}
+
+func (c *Conn) ReadLocked() int {
+	var mu sync.RWMutex
+	mu.RLock()
+	v := <-c.ch // want `lockheld: channel receive while mu is held`
+	mu.RUnlock()
+	return v
+}

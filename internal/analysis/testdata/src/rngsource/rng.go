@@ -1,0 +1,28 @@
+// Package rngsource exercises the rngsource analyzer: package-level
+// math/rand draws use the process-global source and are flagged
+// everywhere; methods on a threaded *rand.Rand and the explicit source
+// constructors pass; crypto/rand is flagged outside its allowed packages.
+package rngsource
+
+import (
+	crand "crypto/rand"
+	"math/rand/v2"
+)
+
+func Global() float64 {
+	return rand.Float64() // want `rngsource: global math/rand source`
+}
+
+func Pick(n int) int {
+	return rand.IntN(n) // want `rngsource: global math/rand source`
+}
+
+// Threaded builds an explicit seedable source: the approved shape.
+func Threaded(seed uint64) float64 {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	return rng.Float64()
+}
+
+func Entropy(buf []byte) {
+	crand.Read(buf) // want `rngsource: crypto/rand outside`
+}

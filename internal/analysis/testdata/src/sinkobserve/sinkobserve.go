@@ -1,0 +1,69 @@
+// Package sinkobserve exercises the sinkobserve analyzer: observe-path
+// methods that store their argument (or a reference-typed field of it)
+// into receiver state are flagged; scalar/string field copies and
+// non-observe methods pass.
+package sinkobserve
+
+// Span stands in for a trace span observed at full stream volume.
+type Span struct {
+	Method string
+	Dur    int64
+	Tags   []string
+	Child  *Span
+}
+
+type keeper struct {
+	last *Span
+}
+
+func (k *keeper) Observe(s *Span) {
+	k.last = s // want `sinkobserve: Observe stores s in receiver state`
+}
+
+type appender struct {
+	spans []*Span
+}
+
+func (a *appender) MethodSpan(s *Span) {
+	a.spans = append(a.spans, s) // want `sinkobserve: MethodSpan stores s in receiver state`
+}
+
+type mapper struct {
+	byName map[string][]*Span
+}
+
+func (m *mapper) VolumeSpan(s *Span) {
+	m.byName[s.Method] = append(m.byName[s.Method], s) // want `sinkobserve: VolumeSpan stores s in receiver state`
+}
+
+type fielder struct {
+	tags  []string
+	child *Span
+}
+
+func (f *fielder) TreeSpan(s *Span) {
+	f.tags = s.Tags   // want `sinkobserve: TreeSpan stores s\.Tags in receiver state`
+	f.child = s.Child // want `sinkobserve: TreeSpan stores s\.Child in receiver state`
+}
+
+type folder struct {
+	total int64
+	name  string
+	count int
+}
+
+// folder copies the fields its figure needs: the approved shape.
+func (f *folder) Observe(s *Span) {
+	f.total += s.Dur
+	f.name = s.Method
+	f.count++
+}
+
+type other struct {
+	last *Span
+}
+
+// Retain is not an observe-path method name: out of scope.
+func (o *other) Retain(s *Span) {
+	o.last = s
+}

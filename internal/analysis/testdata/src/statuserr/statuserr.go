@@ -1,0 +1,67 @@
+// Package statuserr exercises the statuserr analyzer (the test points
+// StatusBoundaryPackages here): exported functions and methods must not
+// return bare error constructors or raw ctx.Err(); status-coded
+// constructors, unexported helpers, and unexported receiver types pass.
+package statuserr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Status stands in for the repository's canonical status error.
+type Status struct {
+	Code int
+	Msg  string
+}
+
+func (s *Status) Error() string { return s.Msg }
+
+// Errorf mirrors stubby.Errorf: a status-coded constructor.
+func Errorf(code int, format string, args ...any) error {
+	return &Status{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+func Bare() error {
+	return errors.New("boom") // want `statuserr: errors\.New returned across the exported Bare boundary`
+}
+
+func Wrapped(err error) error {
+	return fmt.Errorf("call: %w", err) // want `statuserr: fmt\.Errorf returned across the exported Wrapped boundary`
+}
+
+func Joined(a, b error) error {
+	return errors.Join(a, b) // want `statuserr: errors\.Join returned across the exported Joined boundary`
+}
+
+func Cancelled(ctx context.Context) error {
+	return ctx.Err() // want `statuserr: ctx\.Err\(\) returned across the exported Cancelled boundary`
+}
+
+// Coded returns a status error: the approved shape.
+func Coded() error {
+	return Errorf(1, "unavailable")
+}
+
+// helper is unexported: not a boundary.
+func helper() (int, error) {
+	return 0, errors.New("internal detail")
+}
+
+type Channel struct{}
+
+func (c *Channel) Ping(ctx context.Context) (int, error) {
+	if ctx.Err() != nil {
+		return 0, fmt.Errorf("cancelled") // want `statuserr: fmt\.Errorf returned across the exported Ping boundary`
+	}
+	n, err := helper()
+	return n, err // propagated variable: covered by the runtime boundary table test
+}
+
+type conn struct{}
+
+// Close is an exported method on an unexported type: not a boundary.
+func (conn) Close() error {
+	return errors.New("not reachable from outside the package")
+}

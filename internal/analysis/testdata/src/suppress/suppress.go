@@ -1,0 +1,50 @@
+// Package suppress exercises the //rpclint:ignore pipeline under the
+// full analyzer suite: a justified directive on the flagged line or the
+// line above silences the finding; a reason-less or analyzer-less
+// directive suppresses nothing and is itself reported.
+package suppress
+
+import (
+	"math/rand/v2"
+	"sync"
+)
+
+type buf struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *buf) Put(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//rpclint:ignore lockheld the channel is buffered larger than any burst and drained by a dedicated goroutine
+	b.ch <- v
+}
+
+func (b *buf) PutInline(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v //rpclint:ignore lockheld a same-line directive covers the finding too
+}
+
+func (b *buf) PutBare(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//rpclint:ignore lockheld // want `ignore: rpclint:ignore without a reason`
+	b.ch <- v // want `lockheld: channel send while b\.mu is held`
+}
+
+func Jitter() float64 {
+	//rpclint:ignore rngsource fixture demonstrates a justified suppression of another analyzer
+	return rand.Float64()
+}
+
+func JitterAll() float64 {
+	//rpclint:ignore all a blanket suppression with a reason covers every analyzer
+	return rand.Float64()
+}
+
+//rpclint:ignore // want `ignore: rpclint:ignore names no analyzer`
+func Unsuppressed() float64 {
+	return rand.Float64() // want `rngsource: global math/rand source`
+}

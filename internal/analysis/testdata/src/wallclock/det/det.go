@@ -1,0 +1,25 @@
+// Package det is a fixture configured as a deterministic package (the
+// wallclock test points DeterministicPackages here): every wall-clock
+// entry point must be flagged; pure time constructors and an injected
+// clock must pass.
+package det
+
+import "time"
+
+var epoch = time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC) // pure constructor: fine
+
+func Tick() time.Duration {
+	t := time.Now()              // want `wallclock: time\.Now in deterministic package`
+	time.Sleep(time.Millisecond) // want `wallclock: time\.Sleep in deterministic package`
+	return time.Since(t)         // want `wallclock: time\.Since in deterministic package`
+}
+
+func Wait() {
+	<-time.After(time.Second)      // want `wallclock: time\.After in deterministic package`
+	_ = time.NewTimer(time.Second) // want `wallclock: time\.NewTimer in deterministic package`
+}
+
+// Virtual threads an injected clock: the approved shape.
+func Virtual(now func() time.Time) time.Duration {
+	return now().Sub(epoch)
+}

@@ -1,0 +1,7 @@
+// Package free is not in the deterministic list: wall-clock reads are
+// fine here and must produce no findings.
+package free
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -213,6 +213,7 @@ func (k *ReportSink) MethodSpan(s *trace.Span) {
 	if k.studiedSet[s.Method] {
 		// Figs. 14-16 need raw spans; retention is bounded by the eight
 		// studied methods times their stratified sample count.
+		//rpclint:ignore sinkobserve studied-method figures need raw spans; retention bounded to the eight studied methods
 		k.studied[s.Method] = append(k.studied[s.Method], s)
 	}
 	if s.Err.IsError() {
@@ -342,6 +343,7 @@ func (k *ReportSink) TreeShape(method string, descendants, ancestors int) {
 
 // ExoSample folds one studied-method exogenous pairing (workload.SpanSink).
 func (k *ReportSink) ExoSample(method string, s *trace.Span, exo sim.Exo) {
+	//rpclint:ignore sinkobserve exogenous-factor regression (Fig. 17) needs the paired raw spans; bounded by studied-method sampling
 	k.exo[method] = append(k.exo[method], workload.ExoObservation{Span: s, Exo: exo})
 }
 

@@ -80,7 +80,9 @@ type callResult struct {
 func Dial(addr, serverCluster string, opts Options) (*Channel, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		// Status-code the failure: a refused/unroutable backend is the
+		// same Unavailable the paper's taxonomy records for dead peers.
+		return nil, Errorf(trace.Unavailable, "dial %s: %v", addr, err)
 	}
 	return NewChannel(conn, serverCluster, opts)
 }
@@ -92,7 +94,7 @@ func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, er
 	tr, err := newTransport(conn, o.Secret, "c2s", "s2c", o.EncryptionStats)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, Errorf(trace.Internal, "transport setup: %v", err)
 	}
 	c := &Channel{
 		opts:          o,
@@ -509,7 +511,7 @@ func (c *Channel) Ping(ctx context.Context) (time.Duration, error) {
 		c.pingMu.Lock()
 		c.pingCh = nil
 		c.pingMu.Unlock()
-		return 0, err
+		return 0, Errorf(trace.Unavailable, "ping send: %v", err)
 	}
 	select {
 	case end := <-ch:
@@ -518,7 +520,7 @@ func (c *Channel) Ping(ctx context.Context) (time.Duration, error) {
 		c.pingMu.Lock()
 		c.pingCh = nil
 		c.pingMu.Unlock()
-		return 0, ctx.Err()
+		return 0, codeToError(cancelCode(ctx))
 	case <-c.closed:
 		return 0, ErrUnavailable
 	}

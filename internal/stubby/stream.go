@@ -143,7 +143,7 @@ func (c *Channel) CallStream(ctx context.Context, method string, payload []byte)
 	}
 	buf, err := req.marshal()
 	if err != nil {
-		return nil, err
+		return nil, Errorf(trace.Internal, "marshal request: %v", err)
 	}
 
 	streamID := c.nextStream.Add(1)
