@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// JSON array, one object per benchmark result, for CI artifacts and
+// regression tracking.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH.json
+//	benchjson bench-output.txt > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsOp     float64 `json:"ns_op"`
+	MBs      float64 `json:"mb_s,omitempty"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// parseBench extracts benchmark results from go test output. Lines that
+// are not benchmark results are ignored.
+func parseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: fields[0], Iters: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+				ok = true
+			case "MB/s":
+				res.MBs = v
+			case "B/op":
+				res.BOp = int64(v)
+			case "allocs/op":
+				res.AllocsOp = int64(v)
+			}
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	return out, sc.Err()
+}
+
+func run(in io.Reader, out io.Writer) error {
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if results == nil {
+		results = []Result{}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	in := io.Reader(os.Stdin)
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := run(in, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: rpcscale
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStubbyUnary/128B         	  163239	     15980 ns/op	   8.01 MB/s	    1408 B/op	      20 allocs/op
+BenchmarkStubbyUnary/16KB         	   61854	     40708 ns/op	 402.48 MB/s	   17668 B/op	      20 allocs/op
+BenchmarkStubbyStream             	     838	   3050646 ns/op	 687.45 MB/s	 2132185 B/op	     481 allocs/op
+BenchmarkPoolCall                 	  123051	     18939 ns/op	    1792 B/op	      20 allocs/op
+PASS
+ok  	rpcscale	14.094s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
+	}
+	r := results[1]
+	if r.Name != "BenchmarkStubbyUnary/16KB" || r.Iters != 61854 ||
+		r.NsOp != 40708 || r.MBs != 402.48 || r.BOp != 17668 || r.AllocsOp != 20 {
+		t.Fatalf("unexpected parse: %+v", r)
+	}
+	// No MB/s column on PoolCall.
+	if results[3].MBs != 0 || results[3].AllocsOp != 20 {
+		t.Fatalf("unexpected parse: %+v", results[3])
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Result
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("round trip lost results: %d", len(decoded))
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("no benchmarks here\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("empty input should emit [], got %q", out.String())
+	}
+}

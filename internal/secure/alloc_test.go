@@ -1,0 +1,78 @@
+package secure
+
+import (
+	"testing"
+
+	"rpcscale/internal/testutil"
+)
+
+// The data plane relies on SealAppend and OpenAppend being allocation-free
+// when the destination has capacity; these tests pin that down so a future
+// change cannot silently reintroduce a per-message allocation.
+
+func TestSealAppendNoAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	key := DeriveKey([]byte("alloc-test"), "seal")
+	s, err := NewSession(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plaintext := make([]byte, 1024)
+	dst := make([]byte, 0, len(plaintext)+Overhead)
+	allocs := testing.AllocsPerRun(200, func() {
+		dst = s.SealAppend(dst[:0], plaintext)
+	})
+	if allocs != 0 {
+		t.Errorf("SealAppend with capacity: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestOpenAppendNoAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	key := DeriveKey([]byte("alloc-test"), "open")
+	seal, err := NewSession(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := NewSession(key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plaintext := make([]byte, 1024)
+	msg := seal.SealAppend(nil, plaintext)
+	dst := make([]byte, 0, len(plaintext))
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := open.OpenAppend(dst[:0], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = out
+	})
+	if allocs != 0 {
+		t.Errorf("OpenAppend with capacity: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSealOpenAppendRoundTrip(t *testing.T) {
+	key := DeriveKey([]byte("roundtrip"), "dir")
+	seal, _ := NewSession(key, nil)
+	open, _ := NewSession(key, nil)
+	for _, n := range []int{0, 1, 16, 1024, 65536} {
+		plaintext := make([]byte, n)
+		for i := range plaintext {
+			plaintext[i] = byte(i)
+		}
+		msg := seal.SealAppend(make([]byte, 0, n+Overhead), plaintext)
+		got, err := open.OpenAppend(make([]byte, 0, n), msg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if string(got) != string(plaintext) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}

@@ -35,11 +35,16 @@ type Stats struct {
 
 // Session encrypts and decrypts messages under one session key. Each
 // message uses a fresh counter-derived nonce; a Session must only be used
-// by one direction of one connection (which is how the transport wires it).
+// by one direction of one connection, and calls into one Session must be
+// serialized (the transport holds its per-direction lock across them).
 type Session struct {
 	aead  cipher.AEAD
 	ctr   atomic.Uint64
 	stats *Stats
+	// nonce is scratch for SealAppend: a stack-local nonce escapes through
+	// the cipher.AEAD interface call and would cost one heap allocation
+	// per message.
+	nonce [12]byte
 }
 
 // NewSessionKey returns a fresh random session key.
@@ -85,23 +90,41 @@ func NewSession(key []byte, stats *Stats) (*Session, error) {
 // Stats returns the shared counters.
 func (s *Session) Stats() *Stats { return s.stats }
 
-// Seal encrypts plaintext, producing nonce||ciphertext||tag.
+// Seal encrypts plaintext, producing nonce||ciphertext||tag in a fresh
+// buffer. The data plane uses SealAppend with a pooled buffer instead.
 func (s *Session) Seal(plaintext []byte) []byte {
-	s.stats.Seals.Add(1)
-	s.stats.BytesEncrypted.Add(uint64(len(plaintext)))
-	nonce := make([]byte, 12, 12+len(plaintext)+16)
-	binary.BigEndian.PutUint64(nonce[4:], s.ctr.Add(1))
-	return s.aead.Seal(nonce, nonce, plaintext, nil)
+	return s.SealAppend(make([]byte, 0, len(plaintext)+Overhead), plaintext)
 }
 
-// Open decrypts a message produced by Seal.
+// SealAppend encrypts plaintext and appends nonce||ciphertext||tag to dst,
+// returning the extended slice. When dst has capacity for
+// len(plaintext)+Overhead more bytes, SealAppend does not allocate. dst
+// must not overlap plaintext.
+func (s *Session) SealAppend(dst, plaintext []byte) []byte {
+	s.stats.Seals.Add(1)
+	s.stats.BytesEncrypted.Add(uint64(len(plaintext)))
+	binary.BigEndian.PutUint64(s.nonce[4:], s.ctr.Add(1))
+	dst = append(dst, s.nonce[:]...)
+	return s.aead.Seal(dst, s.nonce[:], plaintext, nil)
+}
+
+// Open decrypts a message produced by Seal into a fresh buffer. The data
+// plane uses OpenAppend with a pooled buffer instead.
 func (s *Session) Open(msg []byte) ([]byte, error) {
+	return s.OpenAppend(nil, msg)
+}
+
+// OpenAppend decrypts a message produced by Seal, appending the plaintext
+// to dst and returning the extended slice. When dst has capacity for
+// len(msg)-Overhead more bytes, OpenAppend does not allocate. dst must
+// not overlap msg.
+func (s *Session) OpenAppend(dst, msg []byte) ([]byte, error) {
 	s.stats.Opens.Add(1)
 	if len(msg) < Overhead {
 		return nil, ErrDecrypt
 	}
 	nonce, ciphertext := msg[:12], msg[12:]
-	out, err := s.aead.Open(nil, nonce, ciphertext, nil)
+	out, err := s.aead.Open(dst, nonce, ciphertext, nil)
 	if err != nil {
 		return nil, ErrDecrypt
 	}

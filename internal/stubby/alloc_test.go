@@ -1,0 +1,43 @@
+package stubby
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"rpcscale/internal/testutil"
+)
+
+// TestCallAllocBudget pins the steady-state allocation cost of a full
+// loopback unary call — client marshal/seal/send, server decode/handle/
+// respond, client receive/copy-out — so the pooled data plane cannot
+// silently regress. The pre-pooling implementation spent 74 allocs per
+// call; the budget below is under half that, with headroom over the
+// current ~20 so incidental runtime changes don't flake.
+func TestCallAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	const budget = 35.0
+	ch, _ := testSetup(t, Options{Workers: 2}, map[string]Handler{"svc/Echo": echoHandler})
+	payload := bytes.Repeat([]byte{0x7f}, 512)
+	ctx := context.Background()
+	// Warm the connection, the buffer pools, and the runtime.
+	for i := 0; i < 50; i++ {
+		if _, err := ch.Call(ctx, "svc/Echo", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(300, func() {
+		out, err := ch.Call(ctx, "svc/Echo", payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(payload) {
+			t.Fatalf("echo length %d, want %d", len(out), len(payload))
+		}
+	})
+	if allocs > budget {
+		t.Errorf("loopback call: %.1f allocs/op, budget %.0f", allocs, budget)
+	}
+}

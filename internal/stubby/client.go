@@ -11,6 +11,7 @@ import (
 
 	"rpcscale/internal/compressor"
 	"rpcscale/internal/faultplane"
+	"rpcscale/internal/secure"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/wire"
 )
@@ -24,6 +25,10 @@ type Channel struct {
 	serverCluster string
 	tr            *transport
 	comp          *compressor.Compressor
+	// epoch anchors the channel's monotonic per-call timestamps: every
+	// instrumentation point records time.Since(epoch) nanoseconds in an
+	// atomic int64 instead of boxing a *time.Time per event.
+	epoch time.Time
 
 	// invoke is the configured call path: the raw attempt wrapped by the
 	// retry layer (Options.Retry) and the circuit breaker
@@ -48,18 +53,18 @@ type Channel struct {
 	loops     sync.WaitGroup
 }
 
-// clientCall tracks one in-flight RPC.
+// clientCall tracks one in-flight RPC. Timestamps are nanoseconds since
+// the channel epoch; 0 means "not reached".
 type clientCall struct {
-	req      *request
-	streamID uint64
-	payload  []byte // uncompressed request payload (for size accounting)
-	dropped  bool   // fault plane: swallow the request instead of sending
-	enqueued time.Time
-	// deqAt and sentAt are written by the sender goroutine while the
+	req        request
+	streamID   uint64
+	dropped    bool  // fault plane: swallow the request instead of sending
+	enqueuedNs int64 // entered the send queue
+	// deqNs and sentNs are written by the sender goroutine while the
 	// calling goroutine may be timing out concurrently, so they are
 	// published atomically.
-	deqAt    atomic.Pointer[time.Time] // sender dequeued (end of ClientSendQueue)
-	sentAt   atomic.Pointer[time.Time] // frame written (end of ReqProcStack)
+	deqNs    atomic.Int64 // sender dequeued (end of ClientSendQueue)
+	sentNs   atomic.Int64 // frame written (end of ReqProcStack)
 	resultCh chan *callResult
 }
 
@@ -67,12 +72,19 @@ type clientCall struct {
 // atomic.Pointer regardless of its dynamic type.
 type channelError struct{ err error }
 
-// callResult is what the reader delivers to a waiting call.
+// callResult is what the reader delivers to a waiting call. resp.Payload
+// aliases buf, a pooled recv buffer the waiting call returns with
+// wire.PutBuf after copying the payload out.
 type callResult struct {
-	resp   *response
-	rxAt   time.Time // response frame fully read + decoded
+	resp   response
+	buf    []byte
+	rxAtNs int64 // response frame fully read + decoded
 	netErr error
 }
+
+// sinceEpoch returns the channel-relative monotonic timestamp, always > 0
+// so 0 can mean "not recorded".
+func (c *Channel) sinceEpoch() int64 { return int64(time.Since(c.epoch)) + 1 }
 
 // Dial connects to addr over TCP and returns a channel. serverCluster
 // labels spans with the callee's placement (a real stack learns it from
@@ -101,6 +113,7 @@ func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, er
 		serverCluster: serverCluster,
 		tr:            tr,
 		comp:          compressor.New(o.Compression, o.CompressorStats),
+		epoch:         time.Now(),
 		sendQ:         make(chan *clientCall, o.SendQueueLen),
 		pending:       make(map[uint64]*clientCall),
 		closed:        make(chan struct{}),
@@ -200,7 +213,7 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 		callSeq = callID + 1
 	}
 	call := &clientCall{
-		req: &request{
+		req: request{
 			Method:     method,
 			TraceID:    tc.TraceID,
 			SpanID:     tc.SpanID,
@@ -211,10 +224,9 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 			CallSeq:    callSeq,
 			Attempt:    attempt,
 		},
-		payload:  payload,
-		dropped:  dec.Drop,
-		enqueued: time.Now(),
-		resultCh: make(chan *callResult, 1),
+		dropped:    dec.Drop,
+		enqueuedNs: c.sinceEpoch(),
+		resultCh:   make(chan *callResult, 1),
 	}
 	streamID := c.nextStream.Add(1)
 	call.streamID = streamID
@@ -243,21 +255,21 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 
 	select {
 	case res := <-call.resultCh:
-		rcvd := time.Now()
+		rcvdNs := c.sinceEpoch()
 		if res.netErr != nil {
 			return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
 		}
-		resp := res.resp
-		out := resp.Payload
-		if resp.Compressed {
-			var derr error
-			out, derr = c.comp.Decompress(out)
-			if derr != nil {
-				return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Internal, hedged)
-			}
+		resp := &res.resp
+		// Copy the payload out of the pooled recv buffer and release it:
+		// the caller owns the returned bytes outright.
+		out, derr := c.copyOut(resp, res.buf)
+		res.buf = nil
+		if derr != nil {
+			return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Internal, hedged)
 		}
-		span := c.buildSpan(call, method, tc, parentSpan, payload, out, resp, res.rxAt, rcvd, hedged)
-		c.emit(span)
+		if c.opts.Collector != nil || c.opts.Telemetry != nil {
+			c.emit(c.buildSpan(call, method, tc, parentSpan, payload, out, resp, res.rxAtNs, rcvdNs, hedged))
+		}
 		if resp.Code != trace.OK {
 			return nil, &Status{Code: resp.Code, Message: resp.Message}
 		}
@@ -270,6 +282,34 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 		c.abandon(streamID)
 		return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
 	}
+}
+
+// copyOut materializes the response payload for the caller — who owns the
+// returned slice outright — and releases the pooled recv buffer backing
+// resp.Payload. resp.Payload must not be used after copyOut returns.
+func (c *Channel) copyOut(resp *response, buf []byte) ([]byte, error) {
+	out := resp.Payload
+	if resp.Compressed {
+		dec, err := c.comp.Decompress(out)
+		if err != nil {
+			wire.PutBuf(buf)
+			return nil, err
+		}
+		if len(dec) > 0 && len(out) > 0 && &dec[0] == &out[0] {
+			// Pass-through decompressor: the output still aliases the
+			// pooled buffer, so it needs its own copy.
+			dec = append([]byte(nil), dec...)
+		}
+		wire.PutBuf(buf)
+		return dec, nil
+	}
+	var cp []byte
+	if out != nil {
+		cp = make([]byte, len(out))
+		copy(cp, out)
+	}
+	wire.PutBuf(buf)
+	return cp, nil
 }
 
 func cancelCode(ctx context.Context) trace.ErrorCode {
@@ -302,10 +342,10 @@ func (c *Channel) finish(call *clientCall, method string, tc TraceContext, paren
 		Hedged:        hedged,
 	}
 	if call != nil {
-		if deq := call.deqAt.Load(); deq != nil {
-			span.Breakdown[trace.ClientSendQueue] = deq.Sub(call.enqueued)
-			if sent := call.sentAt.Load(); sent != nil {
-				span.Breakdown[trace.ReqProcStack] = sent.Sub(*deq)
+		if deq := call.deqNs.Load(); deq != 0 {
+			span.Breakdown[trace.ClientSendQueue] = time.Duration(deq - call.enqueuedNs)
+			if sent := call.sentNs.Load(); sent != 0 {
+				span.Breakdown[trace.ReqProcStack] = time.Duration(sent - deq)
 			}
 		}
 	}
@@ -329,27 +369,27 @@ func (c *Channel) finish(call *clientCall, method string, tc TraceContext, paren
 
 // buildSpan assembles the full nine-component breakdown from client
 // timestamps and the server-reported timings.
-func (c *Channel) buildSpan(call *clientCall, method string, tc TraceContext, parentSpan trace.SpanID, reqPayload, respPayload []byte, resp *response, rxAt, rcvd time.Time, hedged bool) *trace.Span {
+func (c *Channel) buildSpan(call *clientCall, method string, tc TraceContext, parentSpan trace.SpanID, reqPayload, respPayload []byte, resp *response, rxAtNs, rcvdNs int64, hedged bool) *trace.Span {
 	var b trace.Breakdown
-	deq, sent := call.deqAt.Load(), call.sentAt.Load()
-	if deq != nil {
-		b[trace.ClientSendQueue] = deq.Sub(call.enqueued)
-		if sent != nil {
-			b[trace.ReqProcStack] = sent.Sub(*deq)
+	deq, sent := call.deqNs.Load(), call.sentNs.Load()
+	if deq != 0 {
+		b[trace.ClientSendQueue] = time.Duration(deq - call.enqueuedNs)
+		if sent != 0 {
+			b[trace.ReqProcStack] = time.Duration(sent - deq)
 		}
 	}
 	b[trace.ServerRecvQueue] = resp.Timings.RecvQueue
 	b[trace.ServerApp] = resp.Timings.App
 	b[trace.ServerSendQueue] = resp.Timings.SendQueue
 	b[trace.RespProcStack] = resp.Timings.RespProc
-	b[trace.ClientRecvQueue] = rcvd.Sub(rxAt)
+	b[trace.ClientRecvQueue] = time.Duration(rcvdNs - rxAtNs)
 
 	// Wire time is everything between the request leaving the client and
 	// the response arriving, minus the server's residence time. Split it
 	// between the directions in proportion to bytes moved.
 	var wireTotal time.Duration
-	if sent != nil {
-		wireTotal = rxAt.Sub(*sent) - resp.Timings.Elapsed
+	if sent != 0 {
+		wireTotal = time.Duration(rxAtNs-sent) - resp.Timings.Elapsed
 	}
 	if wireTotal < 0 {
 		wireTotal = 0
@@ -394,47 +434,104 @@ func ServiceOf(method string) string {
 	return method
 }
 
+// sendBatchBytes bounds how many marshalled request bytes one drain pass
+// of the sendLoop accumulates before flushing, in the style of gRPC's
+// loopyWriter: after blocking on the first queued call, further pending
+// calls are drained non-blockingly and the whole batch leaves in one
+// write, amortizing the syscall across concurrent callers.
+const sendBatchBytes = 128 << 10
+
 // sendLoop drains the send queue: compression, marshalling, encryption,
 // and the write — the client side of ReqProcStack.
 func (c *Channel) sendLoop() {
 	defer c.loops.Done()
+	batch := make([]*clientCall, 0, 32)
+	envs := make([][]byte, 0, 32)
 	for {
 		select {
 		case call := <-c.sendQ:
-			now := time.Now()
-			call.deqAt.Store(&now)
-			if call.dropped {
-				// Fault plane: the request vanishes. The call stays
-				// pending until its deadline expires, exactly like a
-				// packet lost past the transport's visibility.
-				continue
-			}
-			req := call.req
-			if c.opts.Compression != compressor.None && len(req.Payload) >= c.opts.CompressThreshold {
-				if compressed, err := c.comp.Compress(req.Payload); err == nil && len(compressed) < len(req.Payload) {
-					req.Payload = compressed
-					req.Compressed = true
+			batch, envs = batch[:0], envs[:0]
+			size := 0
+			batch, envs, size = c.prepareCall(call, batch, envs, size)
+		drain:
+			for size < sendBatchBytes {
+				select {
+				case next := <-c.sendQ:
+					batch, envs, size = c.prepareCall(next, batch, envs, size)
+				default:
+					break drain
 				}
 			}
-			buf, err := req.marshal()
-			if err != nil {
-				c.failCall(call, err)
-				continue
-			}
-			c.mu.Lock()
-			_, live := c.pending[call.streamID]
-			c.mu.Unlock()
-			if !live {
-				continue // call abandoned before send
-			}
-			if err := c.tr.send(wire.FrameRequest, call.streamID, buf); err != nil {
-				c.failCall(call, err)
-				continue
-			}
-			sent := time.Now()
-			call.sentAt.Store(&sent)
+			c.flushBatch(batch, envs)
 		case <-c.closed:
 			return
+		}
+	}
+}
+
+// prepareCall stamps the dequeue timestamp and marshals one call's
+// request envelope into a pooled buffer, appending it to the batch.
+func (c *Channel) prepareCall(call *clientCall, batch []*clientCall, envs [][]byte, size int) ([]*clientCall, [][]byte, int) {
+	call.deqNs.Store(c.sinceEpoch())
+	if call.dropped {
+		// Fault plane: the request vanishes. The call stays pending until
+		// its deadline expires, exactly like a packet lost past the
+		// transport's visibility.
+		return batch, envs, size
+	}
+	req := &call.req
+	if c.opts.Compression != compressor.None && len(req.Payload) >= c.opts.CompressThreshold {
+		if compressed, err := c.comp.Compress(req.Payload); err == nil && len(compressed) < len(req.Payload) {
+			req.Payload = compressed
+			req.Compressed = true
+		}
+	}
+	env := appendRequest(wire.GetBuf(len(req.Payload)+len(req.Method)+envelopeOverhead), req)
+	if len(env)+secure.Overhead > wire.MaxFrameSize {
+		wire.PutBuf(env)
+		c.failCall(call, wire.ErrFrameTooLarge)
+		return batch, envs, size
+	}
+	return append(batch, call), append(envs, env), size + len(env)
+}
+
+// flushBatch seals every prepared envelope into the transport's write
+// buffer and flushes them with a single write.
+func (c *Channel) flushBatch(batch []*clientCall, envs [][]byte) {
+	if len(batch) == 0 {
+		return
+	}
+	c.mu.Lock()
+	for i, call := range batch {
+		if _, live := c.pending[call.streamID]; !live {
+			batch[i] = nil // abandoned before send
+		}
+	}
+	c.mu.Unlock()
+	c.tr.lockSend()
+	var err error
+	for i, call := range batch {
+		if call == nil {
+			continue
+		}
+		if err = c.tr.appendLocked(wire.FrameRequest, call.streamID, envs[i]); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = c.tr.flushLocked()
+	}
+	c.tr.unlockSend()
+	sentNs := c.sinceEpoch()
+	for i, call := range batch {
+		wire.PutBuf(envs[i])
+		if call == nil {
+			continue
+		}
+		if err != nil {
+			c.failCall(call, err)
+		} else {
+			call.sentNs.Store(sentNs)
 		}
 	}
 }
@@ -457,14 +554,20 @@ func (c *Channel) readLoop() {
 		}
 		switch f.Type {
 		case wire.FrameResponse:
-			rxStart := time.Now()
-			resp, perr := parseResponse(plain)
+			rxNs := c.sinceEpoch()
 			if st := c.lookupStream(f.StreamID); st != nil {
-				if perr != nil {
+				resp := new(response)
+				if perr := parseResponseInto(resp, plain); perr != nil {
+					wire.PutBuf(plain)
 					st.fail(perr)
 					c.dropStream(f.StreamID)
 					continue
 				}
+				// Stream deliveries outlive this loop iteration, so the
+				// payload gets its own copy and the pooled buffer is
+				// recycled immediately.
+				resp.Payload = append([]byte(nil), resp.Payload...)
+				wire.PutBuf(plain)
 				st.deliver(resp)
 				continue
 			}
@@ -473,14 +576,20 @@ func (c *Channel) readLoop() {
 			delete(c.pending, f.StreamID)
 			c.mu.Unlock()
 			if call == nil {
+				wire.PutBuf(plain)
 				continue // cancelled or duplicate
 			}
-			if perr != nil {
+			res := &callResult{buf: plain, rxAtNs: rxNs}
+			if perr := parseResponseInto(&res.resp, plain); perr != nil {
+				wire.PutBuf(plain)
 				c.failCall(call, perr)
 				continue
 			}
-			call.resultCh <- &callResult{resp: resp, rxAt: rxStart}
+			// Ownership of the pooled buffer travels with the result; the
+			// waiting call releases it after copying the payload out.
+			call.resultCh <- res
 		case wire.FramePong:
+			wire.PutBuf(plain)
 			c.pingMu.Lock()
 			ch := c.pingCh
 			c.pingCh = nil
@@ -489,8 +598,11 @@ func (c *Channel) readLoop() {
 				ch <- time.Now()
 			}
 		case wire.FrameGoAway:
+			wire.PutBuf(plain)
 			c.fail(ErrUnavailable)
 			return
+		default:
+			wire.PutBuf(plain)
 		}
 	}
 }

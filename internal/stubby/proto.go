@@ -1,11 +1,13 @@
 package stubby
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"rpcscale/internal/codec"
 	"rpcscale/internal/trace"
+	"rpcscale/internal/wire"
 )
 
 // Wire message descriptors for the RPC protocol itself. These are the
@@ -84,7 +86,11 @@ type request struct {
 	Attempt uint32
 }
 
-func (r *request) marshal() ([]byte, error) {
+// marshalReference encodes r through the generic codec layer. It is the
+// specification of the request wire format; appendRequest is the
+// hand-rolled production encoder pinned byte-identical to it by
+// TestEnvelopeFastPathParity.
+func (r *request) marshalReference() ([]byte, error) {
 	m := codec.NewMessage(requestDesc).
 		Set(reqMethod, r.Method).
 		Set(reqTraceID, uint64(r.TraceID)).
@@ -111,23 +117,149 @@ func (r *request) marshal() ([]byte, error) {
 	return codec.Marshal(m)
 }
 
+// Append-style field encoders: the codec's wire format (protobuf-style
+// key = number<<3 | wiretype) emitted straight into a caller-provided
+// buffer, playing the role generated code plays for a .proto file.
+
+func appendUintField(dst []byte, num, v uint64) []byte {
+	dst = wire.AppendUvarint(dst, num<<3) // wiretype 0: varint
+	return wire.AppendUvarint(dst, v)
+}
+
+func appendBoolField(dst []byte, num uint64, v bool) []byte {
+	dst = wire.AppendUvarint(dst, num<<3)
+	b := uint64(0)
+	if v {
+		b = 1
+	}
+	return wire.AppendUvarint(dst, b)
+}
+
+func appendStringField(dst []byte, num uint64, s string) []byte {
+	dst = wire.AppendUvarint(dst, num<<3|2) // wiretype 2: length-delimited
+	dst = wire.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytesField(dst []byte, num uint64, b []byte) []byte {
+	dst = wire.AppendUvarint(dst, num<<3|2)
+	dst = wire.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// envelopeOverhead bounds the encoded size of every envelope field except
+// the method string and the payload, so send paths can size one pooled
+// buffer for the whole marshalled message.
+const envelopeOverhead = 128
+
+// appendRequest encodes r onto dst — byte-identical to marshalReference —
+// and returns the extended slice. It allocates only if dst lacks
+// capacity.
+func appendRequest(dst []byte, r *request) []byte {
+	dst = appendStringField(dst, reqMethod, r.Method)
+	dst = appendUintField(dst, reqTraceID, uint64(r.TraceID))
+	dst = appendUintField(dst, reqSpanID, uint64(r.SpanID))
+	if r.ParentSpan != 0 {
+		dst = appendUintField(dst, reqParentSpan, uint64(r.ParentSpan))
+	}
+	if r.Deadline > 0 {
+		dst = appendUintField(dst, reqDeadlineNs, uint64(r.Deadline))
+	}
+	dst = appendBytesField(dst, reqPayload, r.Payload)
+	if r.Compressed {
+		dst = appendBoolField(dst, reqCompressed, true)
+	}
+	if r.Hedged {
+		dst = appendBoolField(dst, reqHedged, true)
+	}
+	if r.CallSeq != 0 {
+		dst = appendUintField(dst, reqCallSeq, r.CallSeq)
+	}
+	if r.Attempt != 0 {
+		dst = appendUintField(dst, reqAttempt, uint64(r.Attempt))
+	}
+	return dst
+}
+
+var errTruncatedEnvelope = errors.New("stubby: truncated envelope")
+
+// parseRequestInto decodes buf into r without going through the dynamic
+// codec message. r.Payload aliases buf: the caller owns buf and must keep
+// it alive until the payload is no longer referenced. intern, when
+// non-nil, maps the method-name bytes to a string (the server passes its
+// registered-name interner so steady-state requests allocate no method
+// string); nil falls back to a plain string copy. Unknown fields are
+// skipped, mirroring codec.Unmarshal.
+func parseRequestInto(r *request, buf []byte, intern func([]byte) string) error {
+	*r = request{}
+	for len(buf) > 0 {
+		key, n := wire.Uvarint(buf)
+		if n <= 0 {
+			return errTruncatedEnvelope
+		}
+		buf = buf[n:]
+		num, wt := key>>3, key&0x7
+		switch wt {
+		case 0: // varint
+			x, n := wire.Uvarint(buf)
+			if n <= 0 {
+				return errTruncatedEnvelope
+			}
+			buf = buf[n:]
+			switch num {
+			case reqTraceID:
+				r.TraceID = trace.TraceID(x)
+			case reqSpanID:
+				r.SpanID = trace.SpanID(x)
+			case reqParentSpan:
+				r.ParentSpan = trace.SpanID(x)
+			case reqDeadlineNs:
+				r.Deadline = time.Duration(x)
+			case reqCompressed:
+				r.Compressed = x != 0
+			case reqHedged:
+				r.Hedged = x != 0
+			case reqCallSeq:
+				r.CallSeq = x
+			case reqAttempt:
+				r.Attempt = uint32(x)
+			}
+		case 2: // length-delimited
+			length, n := wire.Uvarint(buf)
+			if n <= 0 || uint64(len(buf)-n) < length {
+				return errTruncatedEnvelope
+			}
+			field := buf[n : n+int(length)]
+			buf = buf[n+int(length):]
+			switch num {
+			case reqMethod:
+				if intern != nil {
+					r.Method = intern(field)
+				} else {
+					r.Method = string(field)
+				}
+			case reqPayload:
+				r.Payload = field
+			}
+		case 1: // 64-bit fixed (no such request field; skip unknowns)
+			if len(buf) < 8 {
+				return errTruncatedEnvelope
+			}
+			buf = buf[8:]
+		default:
+			return fmt.Errorf("stubby: request envelope: unknown wire type %d", wt)
+		}
+	}
+	return nil
+}
+
+// parseRequest decodes buf into a fresh request. The payload aliases buf.
 func parseRequest(buf []byte) (*request, error) {
-	m, err := codec.Unmarshal(requestDesc, buf)
-	if err != nil {
+	r := new(request)
+	if err := parseRequestInto(r, buf, nil); err != nil {
 		return nil, fmt.Errorf("stubby: parsing request: %w", err)
 	}
-	return &request{
-		Method:     m.GetString(reqMethod),
-		TraceID:    trace.TraceID(m.GetUint64(reqTraceID)),
-		SpanID:     trace.SpanID(m.GetUint64(reqSpanID)),
-		ParentSpan: trace.SpanID(m.GetUint64(reqParentSpan)),
-		Deadline:   time.Duration(m.GetUint64(reqDeadlineNs)),
-		Payload:    m.GetBytes(reqPayload),
-		Compressed: m.GetBool(reqCompressed),
-		Hedged:     m.GetBool(reqHedged),
-		CallSeq:    m.GetUint64(reqCallSeq),
-		Attempt:    uint32(m.GetUint64(reqAttempt)),
-	}, nil
+	return r, nil
 }
 
 // serverTimings carries the server-measured latency components back to the
@@ -154,7 +286,9 @@ type response struct {
 	Timings serverTimings
 }
 
-func (r *response) marshal() ([]byte, error) {
+// marshalReference encodes r through the generic codec layer — the
+// specification appendResponse is pinned byte-identical to.
+func (r *response) marshalReference() ([]byte, error) {
 	m := codec.NewMessage(responseDesc).
 		Set(respCode, uint64(r.Code)).
 		Set(respPayload, r.Payload)
@@ -175,23 +309,86 @@ func (r *response) marshal() ([]byte, error) {
 	return codec.Marshal(m)
 }
 
-func parseResponse(buf []byte) (*response, error) {
-	m, err := codec.Unmarshal(responseDesc, buf)
-	if err != nil {
-		return nil, fmt.Errorf("stubby: parsing response: %w", err)
+// appendResponse encodes r onto dst — byte-identical to marshalReference
+// — and returns the extended slice.
+func appendResponse(dst []byte, r *response) []byte {
+	dst = appendUintField(dst, respCode, uint64(r.Code))
+	if r.Message != "" {
+		dst = appendStringField(dst, respMessage, r.Message)
 	}
-	return &response{
-		Code:       trace.ErrorCode(m.GetUint64(respCode)),
-		Message:    m.GetString(respMessage),
-		Payload:    m.GetBytes(respPayload),
-		Compressed: m.GetBool(respCompressed),
-		More:       m.GetBool(respMore),
-		Timings: serverTimings{
-			RecvQueue: time.Duration(m.GetUint64(respRecvQueueNs)),
-			App:       time.Duration(m.GetUint64(respAppNs)),
-			SendQueue: time.Duration(m.GetUint64(respSendQueueNs)),
-			RespProc:  time.Duration(m.GetUint64(respProcNs)),
-			Elapsed:   time.Duration(m.GetUint64(respElapsedNs)),
-		},
-	}, nil
+	dst = appendBytesField(dst, respPayload, r.Payload)
+	if r.Compressed {
+		dst = appendBoolField(dst, respCompressed, true)
+	}
+	dst = appendUintField(dst, respRecvQueueNs, uint64(r.Timings.RecvQueue))
+	dst = appendUintField(dst, respAppNs, uint64(r.Timings.App))
+	dst = appendUintField(dst, respSendQueueNs, uint64(r.Timings.SendQueue))
+	dst = appendUintField(dst, respProcNs, uint64(r.Timings.RespProc))
+	dst = appendUintField(dst, respElapsedNs, uint64(r.Timings.Elapsed))
+	if r.More {
+		dst = appendBoolField(dst, respMore, true)
+	}
+	return dst
+}
+
+// parseResponseInto decodes buf into r. r.Payload and r.Message's backing
+// follow the same aliasing rule as parseRequestInto: the payload aliases
+// buf, so the caller must keep buf alive until it is copied out.
+func parseResponseInto(r *response, buf []byte) error {
+	*r = response{}
+	for len(buf) > 0 {
+		key, n := wire.Uvarint(buf)
+		if n <= 0 {
+			return errTruncatedEnvelope
+		}
+		buf = buf[n:]
+		num, wt := key>>3, key&0x7
+		switch wt {
+		case 0: // varint
+			x, n := wire.Uvarint(buf)
+			if n <= 0 {
+				return errTruncatedEnvelope
+			}
+			buf = buf[n:]
+			switch num {
+			case respCode:
+				r.Code = trace.ErrorCode(x)
+			case respCompressed:
+				r.Compressed = x != 0
+			case respMore:
+				r.More = x != 0
+			case respRecvQueueNs:
+				r.Timings.RecvQueue = time.Duration(x)
+			case respAppNs:
+				r.Timings.App = time.Duration(x)
+			case respSendQueueNs:
+				r.Timings.SendQueue = time.Duration(x)
+			case respProcNs:
+				r.Timings.RespProc = time.Duration(x)
+			case respElapsedNs:
+				r.Timings.Elapsed = time.Duration(x)
+			}
+		case 2: // length-delimited
+			length, n := wire.Uvarint(buf)
+			if n <= 0 || uint64(len(buf)-n) < length {
+				return errTruncatedEnvelope
+			}
+			field := buf[n : n+int(length)]
+			buf = buf[n+int(length):]
+			switch num {
+			case respMessage:
+				r.Message = string(field)
+			case respPayload:
+				r.Payload = field
+			}
+		case 1: // 64-bit fixed (no such response field; skip unknowns)
+			if len(buf) < 8 {
+				return errTruncatedEnvelope
+			}
+			buf = buf[8:]
+		default:
+			return fmt.Errorf("stubby: response envelope: unknown wire type %d", wt)
+		}
+	}
+	return nil
 }

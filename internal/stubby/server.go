@@ -10,6 +10,7 @@ import (
 
 	"rpcscale/internal/compressor"
 	"rpcscale/internal/faultplane"
+	"rpcscale/internal/secure"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/wire"
 )
@@ -32,7 +33,12 @@ type Server struct {
 	mu             sync.RWMutex
 	handlers       map[string]Handler
 	streamHandlers map[string]StreamHandler
+	methodNames    map[string]string // interned registered names, keyed by themselves
 	intcpt         []ServerInterceptor
+
+	// intern is internMethod bound once at construction so the per-request
+	// decode path does not allocate a method-value closure.
+	intern func([]byte) string
 
 	recvQ chan *serverCall
 
@@ -47,11 +53,14 @@ type Server struct {
 }
 
 // serverCall is one queued request with the instrumentation timestamps
-// accumulated so far.
+// accumulated so far. raw is a pooled recv buffer: ownership travels with
+// the call, and the buffer is released only after the response envelope is
+// sealed (the handler's payload — and possibly its response — alias it).
 type serverCall struct {
 	conn     *serverConn
 	streamID uint64
-	raw      []byte    // encrypted-then-decrypted envelope bytes
+	req      request   // decoded on a worker; Payload aliases raw
+	raw      []byte    // pooled decrypted envelope bytes
 	readDone time.Time // when the request frame finished arriving
 }
 
@@ -60,9 +69,11 @@ type serverCall struct {
 type serverConn struct {
 	tr     *transport
 	sendQ  chan *serverResponse
-	cancel sync.Map // streamID -> context.CancelFunc for in-flight calls
 	closed chan struct{}
 	once   sync.Once
+
+	cancelMu sync.Mutex
+	cancels  map[uint64]context.CancelFunc // in-flight calls by stream ID
 }
 
 func (c *serverConn) shutdown() {
@@ -72,13 +83,35 @@ func (c *serverConn) shutdown() {
 	})
 }
 
+func (c *serverConn) storeCancel(id uint64, cancel context.CancelFunc) {
+	c.cancelMu.Lock()
+	c.cancels[id] = cancel
+	c.cancelMu.Unlock()
+}
+
+func (c *serverConn) deleteCancel(id uint64) {
+	c.cancelMu.Lock()
+	delete(c.cancels, id)
+	c.cancelMu.Unlock()
+}
+
+func (c *serverConn) cancelStream(id uint64) {
+	c.cancelMu.Lock()
+	cancel := c.cancels[id]
+	c.cancelMu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
 // serverResponse is a response waiting in the send queue.
 type serverResponse struct {
 	streamID uint64
-	// raw, when set, is a pre-marshalled frame payload (stream items);
-	// resp drives the normal final-response path.
+	// raw, when set, is a pre-marshalled pooled frame payload (stream
+	// items); resp drives the normal final-response path.
 	raw       []byte
-	resp      *response
+	resp      response
+	reqBuf    []byte    // pooled request envelope, released after the response seals
 	appDone   time.Time // handler completion: send-queue time starts here
 	readDone  time.Time // request arrival, for Elapsed
 	recvQueue time.Duration
@@ -93,10 +126,12 @@ func NewServer(opts Options) *Server {
 		comp:           compressor.New(o.Compression, o.CompressorStats),
 		handlers:       make(map[string]Handler),
 		streamHandlers: make(map[string]StreamHandler),
+		methodNames:    make(map[string]string),
 		recvQ:          make(chan *serverCall, o.RecvQueueLen),
 		listeners:      make(map[net.Listener]struct{}),
 		closed:         make(chan struct{}),
 	}
+	s.intern = s.internMethod
 	for i := 0; i < o.Workers; i++ {
 		s.pool.Add(1)
 		go s.worker()
@@ -116,6 +151,18 @@ func (s *Server) Register(method string, h Handler) {
 		panic(fmt.Sprintf("stubby: %q already registered as a stream", method))
 	}
 	s.handlers[method] = h
+	s.methodNames[method] = method
+}
+
+// internMethod resolves a decoded method name against the registration
+// table so steady-state request decode reuses the registered string
+// instead of allocating one per call. Unknown methods (which fail lookup
+// anyway) pay the allocation. Caller must hold s.mu.
+func (s *Server) internMethod(b []byte) string {
+	if m, ok := s.methodNames[string(b)]; ok {
+		return m
+	}
+	return string(b)
 }
 
 // Intercept appends a server interceptor; later additions run closer to
@@ -151,9 +198,10 @@ func (s *Server) Serve(l net.Listener) error {
 			continue
 		}
 		sc := &serverConn{
-			tr:     tr,
-			sendQ:  make(chan *serverResponse, s.opts.SendQueueLen),
-			closed: make(chan struct{}),
+			tr:      tr,
+			sendQ:   make(chan *serverResponse, s.opts.SendQueueLen),
+			cancels: make(map[uint64]context.CancelFunc),
+			closed:  make(chan struct{}),
 		}
 		s.conns.Add(2)
 		go s.readLoop(sc)
@@ -181,31 +229,37 @@ func (s *Server) readLoop(sc *serverConn) {
 				// the fail-fast overload posture the paper's §7 retry
 				// analysis assumes servers adopt.
 				s.shed(sc, f.StreamID, plain)
+				wire.PutBuf(plain)
 				continue
 			}
 			call := &serverCall{
 				conn:     sc,
 				streamID: f.StreamID,
-				raw:      append([]byte(nil), plain...),
+				raw:      plain, // pooled; ownership travels with the call
 				readDone: time.Now(),
 			}
 			select {
 			case s.recvQ <- call:
 			case <-s.closed:
+				wire.PutBuf(plain)
 				return
 			default:
 				// Receive queue full: shed load with NoResource, the
 				// overload behavior the paper's error taxonomy records.
+				wire.PutBuf(plain)
 				s.reject(sc, f.StreamID, trace.NoResource, "server receive queue full")
 			}
 		case wire.FrameCancel:
-			if cancel, ok := sc.cancel.Load(f.StreamID); ok {
-				cancel.(context.CancelFunc)()
-			}
+			wire.PutBuf(plain)
+			sc.cancelStream(f.StreamID)
 		case wire.FramePing:
+			wire.PutBuf(plain)
 			_ = sc.tr.send(wire.FramePong, f.StreamID, nil)
 		case wire.FrameGoAway:
+			wire.PutBuf(plain)
 			return
+		default:
+			wire.PutBuf(plain)
 		}
 	}
 }
@@ -227,12 +281,10 @@ func (s *Server) shed(sc *serverConn, streamID uint64, plain []byte) {
 
 // reject sends an error response without involving the worker pool.
 func (s *Server) reject(sc *serverConn, streamID uint64, code trace.ErrorCode, msg string) {
-	resp := &response{Code: code, Message: msg}
-	buf, err := resp.marshal()
-	if err != nil {
-		return
-	}
+	resp := response{Code: code, Message: msg}
+	buf := appendResponse(wire.GetBuf(len(msg)+envelopeOverhead), &resp)
 	_ = sc.tr.send(wire.FrameResponse, streamID, buf)
+	wire.PutBuf(buf)
 }
 
 // worker drains the receive queue: decode, deadline setup, handler
@@ -259,9 +311,21 @@ func (s *Server) worker() {
 }
 
 func (s *Server) handle(call *serverCall) {
-	req, err := parseRequest(call.raw)
+	req := &call.req
+	s.mu.RLock()
+	err := parseRequestInto(req, call.raw, s.intern)
+	var h Handler
+	var sh StreamHandler
+	var intcpt []ServerInterceptor
+	if err == nil {
+		h = s.handlers[req.Method]
+		sh = s.streamHandlers[req.Method]
+		intcpt = s.intcpt
+	}
+	s.mu.RUnlock()
 	if err != nil {
 		s.reject(call.conn, call.streamID, trace.Internal, err.Error())
+		wire.PutBuf(call.raw)
 		return
 	}
 	payload := req.Payload
@@ -269,6 +333,7 @@ func (s *Server) handle(call *serverCall) {
 		payload, err = s.comp.Decompress(payload)
 		if err != nil {
 			s.reject(call.conn, call.streamID, trace.Internal, "decompress: "+err.Error())
+			wire.PutBuf(call.raw)
 			return
 		}
 	}
@@ -276,12 +341,6 @@ func (s *Server) handle(call *serverCall) {
 	// happened between readDone and now, so the measurement matches.
 	recvQueue := time.Since(call.readDone)
 	req.Payload = payload
-
-	s.mu.RLock()
-	h := s.handlers[req.Method]
-	sh := s.streamHandlers[req.Method]
-	intcpt := s.intcpt
-	s.mu.RUnlock()
 
 	if sh != nil {
 		// Fault injection covers unary calls only; streams pass through.
@@ -301,10 +360,12 @@ func (s *Server) handle(call *serverCall) {
 		})
 		if dec.Reject != trace.OK {
 			s.reject(call.conn, call.streamID, dec.Reject, "fault injection: rejected")
+			wire.PutBuf(call.raw)
 			return
 		}
 		if dec.Drop {
 			// The response vanishes; the client's deadline expires.
+			wire.PutBuf(call.raw)
 			return
 		}
 		if dec.Corrupt {
@@ -322,9 +383,9 @@ func (s *Server) handle(call *serverCall) {
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
-	call.conn.cancel.Store(call.streamID, cancel)
+	call.conn.storeCancel(call.streamID, cancel)
 	defer func() {
-		call.conn.cancel.Delete(call.streamID)
+		call.conn.deleteCancel(call.streamID)
 		cancel()
 	}()
 
@@ -365,18 +426,22 @@ func (s *Server) handle(call *serverCall) {
 	appDone := time.Now()
 
 	st := StatusFromError(herr)
-	resp := &response{Code: st.Code, Payload: out}
-	if st.Code != trace.OK {
-		resp.Message = st.Message
-		resp.Payload = nil
-	}
 	sr := &serverResponse{
-		streamID:  call.streamID,
-		resp:      resp,
+		streamID: call.streamID,
+		// The handler's response may alias the request envelope (echo
+		// servers return their input), so the pooled request buffer rides
+		// along and is released only after the response is sealed.
+		reqBuf:    call.raw,
 		appDone:   appDone,
 		readDone:  call.readDone,
 		recvQueue: recvQueue,
 		app:       appDone.Sub(appStart),
+	}
+	sr.resp.Code = st.Code
+	sr.resp.Payload = out
+	if st.Code != trace.OK {
+		sr.resp.Message = st.Message
+		sr.resp.Payload = nil
 	}
 	select {
 	case call.conn.sendQ <- sr:
@@ -392,47 +457,93 @@ func ctxErrToStatus(err error) error {
 }
 
 // writeLoop drains one connection's send queue: compress, marshal,
-// encrypt, write — the server side of RespProcStack.
+// encrypt, write — the server side of RespProcStack. Like the client's
+// sendLoop it is a batching drain: it blocks on the first queued response,
+// drains further pending responses non-blockingly up to sendBatchBytes,
+// and flushes the whole batch with a single write.
 func (s *Server) writeLoop(sc *serverConn) {
 	defer s.conns.Done()
+	batch := make([]*serverResponse, 0, 32)
+	envs := make([][]byte, 0, 32)
 	for {
 		select {
 		case sr := <-sc.sendQ:
-			if sr.raw != nil {
-				_ = sc.tr.send(wire.FrameResponse, sr.streamID, sr.raw)
-				continue
-			}
-			procStart := time.Now()
-			sendQueue := procStart.Sub(sr.appDone)
-			resp := sr.resp
-			if s.opts.Compression != compressor.None && len(resp.Payload) >= s.opts.CompressThreshold {
-				if compressed, err := s.comp.Compress(resp.Payload); err == nil && len(compressed) < len(resp.Payload) {
-					resp.Payload = compressed
-					resp.Compressed = true
+			batch, envs = batch[:0], envs[:0]
+			size := 0
+			batch, envs, size = s.prepareResponse(sr, batch, envs, size)
+		drain:
+			for size < sendBatchBytes {
+				select {
+				case next := <-sc.sendQ:
+					batch, envs, size = s.prepareResponse(next, batch, envs, size)
+				default:
+					break drain
 				}
 			}
-			resp.Timings = serverTimings{
-				RecvQueue: sr.recvQueue,
-				App:       sr.app,
-				SendQueue: sendQueue,
-			}
-			// Marshal once to measure RespProc including serialization;
-			// the timing fields are filled before the final marshal so
-			// RespProc is a lower bound measured up to the write.
-			buf, err := resp.marshal()
-			if err != nil {
-				continue
-			}
-			resp.Timings.RespProc = time.Since(procStart)
-			resp.Timings.Elapsed = time.Since(sr.readDone)
-			buf, err = resp.marshal()
-			if err != nil {
-				continue
-			}
-			_ = sc.tr.send(wire.FrameResponse, sr.streamID, buf)
+			s.flushResponses(sc, batch, envs)
 		case <-sc.closed:
 			return
 		}
+	}
+}
+
+// prepareResponse compresses and marshals one queued response into a
+// pooled envelope, appending it to the batch. Stream items arrive
+// pre-marshalled in sr.raw and pass straight through.
+func (s *Server) prepareResponse(sr *serverResponse, batch []*serverResponse, envs [][]byte, size int) ([]*serverResponse, [][]byte, int) {
+	env := sr.raw
+	if env == nil {
+		procStart := time.Now()
+		resp := &sr.resp
+		if s.opts.Compression != compressor.None && len(resp.Payload) >= s.opts.CompressThreshold {
+			if compressed, err := s.comp.Compress(resp.Payload); err == nil && len(compressed) < len(resp.Payload) {
+				resp.Payload = compressed
+				resp.Compressed = true
+			}
+		}
+		resp.Timings = serverTimings{
+			RecvQueue: sr.recvQueue,
+			App:       sr.app,
+			SendQueue: procStart.Sub(sr.appDone),
+		}
+		// Marshal once to measure RespProc including serialization; the
+		// timing fields are filled before the final marshal so RespProc is
+		// a lower bound measured up to the write.
+		env = appendResponse(wire.GetBuf(len(resp.Payload)+envelopeOverhead), resp)
+		resp.Timings.RespProc = time.Since(procStart)
+		resp.Timings.Elapsed = time.Since(sr.readDone)
+		env = appendResponse(env[:0], resp)
+	}
+	if len(env)+secure.Overhead > wire.MaxFrameSize {
+		wire.PutBuf(env)
+		wire.PutBuf(sr.reqBuf)
+		return batch, envs, size // oversize: drop; the client's deadline expires
+	}
+	return append(batch, sr), append(envs, env), size + len(env)
+}
+
+// flushResponses seals every prepared envelope into the transport's write
+// buffer, flushes them with a single write, and releases the pooled
+// request and response buffers. A failed write is not reported here — the
+// connection's read loop observes the socket error and tears down.
+func (s *Server) flushResponses(sc *serverConn, batch []*serverResponse, envs [][]byte) {
+	if len(batch) == 0 {
+		return
+	}
+	sc.tr.lockSend()
+	var err error
+	for i, sr := range batch {
+		if err = sc.tr.appendLocked(wire.FrameResponse, sr.streamID, envs[i]); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		_ = sc.tr.flushLocked()
+	}
+	sc.tr.unlockSend()
+	for i, sr := range batch {
+		wire.PutBuf(envs[i])
+		wire.PutBuf(sr.reqBuf)
 	}
 }
 

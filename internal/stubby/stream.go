@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rpcscale/internal/secure"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/wire"
 )
@@ -39,6 +40,7 @@ func (s *Server) RegisterStream(method string, h StreamHandler) {
 		s.streamHandlers = make(map[string]StreamHandler)
 	}
 	s.streamHandlers[method] = h
+	s.methodNames[method] = method
 }
 
 // handleStream runs a streaming call on a worker.
@@ -53,9 +55,9 @@ func (s *Server) handleStream(call *serverCall, req *request, h StreamHandler, r
 	} else {
 		ctx, cancel = context.WithCancel(ctx)
 	}
-	call.conn.cancel.Store(call.streamID, cancel)
+	call.conn.storeCancel(call.streamID, cancel)
 	defer func() {
-		call.conn.cancel.Delete(call.streamID)
+		call.conn.deleteCancel(call.streamID)
 		cancel()
 	}()
 
@@ -64,38 +66,46 @@ func (s *Server) handleStream(call *serverCall, req *request, h StreamHandler, r
 		if err := ctx.Err(); err != nil {
 			return ctxErrToStatus(err)
 		}
-		resp := &response{Code: trace.OK, Payload: item, More: true}
-		buf, err := resp.marshal()
-		if err != nil {
-			return err
+		resp := response{Code: trace.OK, Payload: item, More: true}
+		buf := appendResponse(wire.GetBuf(len(item)+envelopeOverhead), &resp)
+		if len(buf)+secure.Overhead > wire.MaxFrameSize {
+			wire.PutBuf(buf)
+			return Errorf(trace.InvalidArgument, "stream item exceeds max frame size")
 		}
 		select {
 		case call.conn.sendQ <- &serverResponse{streamID: call.streamID, raw: buf}:
+			// buf ownership moves to the write loop, which releases it
+			// after sealing the frame.
 			return nil
 		case <-call.conn.closed:
+			wire.PutBuf(buf)
 			return ErrUnavailable
 		case <-ctx.Done():
+			wire.PutBuf(buf)
 			return ctxErrToStatus(ctx.Err())
 		}
 	}
 
 	herr := h(ctx, req.Payload, send)
+	// The handler is done with the request payload; the pooled envelope
+	// backing it can be recycled before the final status is queued.
+	wire.PutBuf(call.raw)
+	call.raw = nil
 	if herr == nil && ctx.Err() != nil {
 		herr = ctxErrToStatus(ctx.Err())
 	}
 	appDone := time.Now()
 	st := StatusFromError(herr)
-	final := &response{Code: st.Code}
-	if st.Code != trace.OK {
-		final.Message = st.Message
-	}
 	sr := &serverResponse{
 		streamID:  call.streamID,
-		resp:      final,
 		appDone:   appDone,
 		readDone:  call.readDone,
 		recvQueue: recvQueue,
 		app:       appDone.Sub(appStart),
+	}
+	sr.resp.Code = st.Code
+	if st.Code != trace.OK {
+		sr.resp.Message = st.Message
 	}
 	select {
 	case call.conn.sendQ <- sr:
@@ -141,9 +151,10 @@ func (c *Channel) CallStream(ctx context.Context, method string, payload []byte)
 		Deadline: deadline,
 		Payload:  payload,
 	}
-	buf, err := req.marshal()
-	if err != nil {
-		return nil, Errorf(trace.Internal, "marshal request: %v", err)
+	buf := appendRequest(wire.GetBuf(len(payload)+len(method)+envelopeOverhead), req)
+	if len(buf)+secure.Overhead > wire.MaxFrameSize {
+		wire.PutBuf(buf)
+		return nil, Errorf(trace.InvalidArgument, "request exceeds max frame size")
 	}
 
 	streamID := c.nextStream.Add(1)
@@ -172,7 +183,9 @@ func (c *Channel) CallStream(ctx context.Context, method string, payload []byte)
 
 	// Streams bypass the unary send queue: the request goes out
 	// immediately (stream setup is not part of the unary queue study).
-	if err := c.tr.send(wire.FrameRequest, streamID, buf); err != nil {
+	err := c.tr.send(wire.FrameRequest, streamID, buf)
+	wire.PutBuf(buf)
+	if err != nil {
 		c.dropStream(streamID)
 		cancel()
 		return nil, ErrUnavailable

@@ -17,11 +17,18 @@ import (
 // (Options.Secret): each direction derives its own session key. A real
 // deployment would run a handshake (ALTS/TLS); the cryptographic work per
 // message, which is what the cycle tax measures, is identical.
+//
+// The send side is a batching drain: frames are sealed directly into the
+// wire.Writer's buffer under sendMu and flushed with one Write. Batching
+// callers (the client sendLoop and server writeLoop) hold the lock across
+// several appendLocked calls and a single flushLocked; one-shot callers
+// use send.
 type transport struct {
 	conn net.Conn
 
 	sendMu  sync.Mutex
 	sendKey *secure.Session
+	writer  *wire.Writer
 
 	recvMu  sync.Mutex
 	recvKey *secure.Session
@@ -42,31 +49,62 @@ func newTransport(conn net.Conn, psk []byte, dirSend, dirRecv string, stats *sec
 	return &transport{
 		conn:    conn,
 		sendKey: sendSess,
+		writer:  wire.NewWriter(conn),
 		recvKey: recvSess,
 		reader:  wire.NewReader(conn),
 	}, nil
 }
 
-// send encrypts payload and writes one frame. Safe for concurrent use.
+// lockSend acquires the send lock for a batching sequence of appendLocked
+// calls ending in flushLocked; unlockSend releases it.
+func (t *transport) lockSend()   { t.sendMu.Lock() }
+func (t *transport) unlockSend() { t.sendMu.Unlock() }
+
+// appendLocked seals payload directly into the write buffer as one frame,
+// without flushing. Caller must hold the send lock.
+func (t *transport) appendLocked(frameType byte, streamID uint64, payload []byte) error {
+	buf, err := t.writer.BeginFrame(frameType, streamID, len(payload)+secure.Overhead)
+	if err != nil {
+		return err
+	}
+	buf = t.sendKey.SealAppend(buf, payload)
+	return t.writer.EndFrame(buf)
+}
+
+// flushLocked writes every appended frame with a single Write. Caller
+// must hold the send lock: sendMu exists to serialize frame writes on the
+// shared conn, and holding it across the flush is the point.
+func (t *transport) flushLocked() error {
+	return t.writer.Flush()
+}
+
+// send encrypts payload and writes one frame with a single Write. Safe
+// for concurrent use.
 func (t *transport) send(frameType byte, streamID uint64, payload []byte) error {
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	sealed := t.sendKey.Seal(payload)
-	//rpclint:ignore lockheld sendMu exists to serialize frame writes on the shared conn; holding it across the write is the point
-	return wire.WriteFrame(t.conn, &wire.Frame{Type: frameType, StreamID: streamID, Payload: sealed})
+	if err := t.appendLocked(frameType, streamID, payload); err != nil {
+		return err
+	}
+	return t.flushLocked()
 }
 
-// recv reads and decrypts the next frame. Only one goroutine may call recv.
+// recv reads and decrypts the next frame. Only one goroutine may call
+// recv. The returned plaintext sits in a buffer from the wire buffer
+// pool: ownership transfers to the caller, who must release it with
+// wire.PutBuf once nothing references the bytes (see DESIGN.md §11).
 func (t *transport) recv() (*wire.Frame, []byte, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
-	//rpclint:ignore lockheld recvMu serializes reads of the shared frame reader; the read must happen under it
+	//rpclint:ignore lockheld recvMu serializes reads of the shared frame reader; holding it across the read is the point
 	f, err := t.reader.ReadFrame()
 	if err != nil {
 		return nil, nil, err
 	}
-	plain, err := t.recvKey.Open(f.Payload)
+	buf := wire.GetBuf(len(f.Payload))
+	plain, err := t.recvKey.OpenAppend(buf, f.Payload)
 	if err != nil {
+		wire.PutBuf(buf)
 		return nil, nil, err
 	}
 	return f, plain, nil

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package testutil holds small helpers shared by tests across packages.
+package testutil
+
+// RaceEnabled reports whether the race detector is compiled in. Allocation
+// budget tests skip under the race detector: its instrumentation changes
+// allocation counts and would make testing.AllocsPerRun assertions
+// meaningless.
+const RaceEnabled = true

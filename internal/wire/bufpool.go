@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed buffer pool for the data plane. The send path threads
+// these buffers through marshal→compress→seal and the recv path through
+// open→decompress, so steady-state traffic recycles a small working set
+// instead of allocating per message.
+//
+// Ownership contract: GetBuf transfers ownership to the caller; whoever
+// holds the buffer last returns it with PutBuf once no live slice aliases
+// it. Returning a buffer is best-effort — a buffer that goes out of scope
+// without PutBuf is simply collected by the GC, so error paths may drop
+// buffers but must never return one that is still referenced.
+
+const (
+	minPoolClass = 9  // smallest pooled capacity: 512 B
+	maxPoolClass = 20 // largest pooled capacity: 1 MiB
+)
+
+var bufPools [maxPoolClass - minPoolClass + 1]sync.Pool
+
+// GetBuf returns a buffer with len 0 and cap >= n for the caller to
+// append into. Requests beyond the largest size class are plain
+// allocations that PutBuf will decline to pool.
+func GetBuf(n int) []byte {
+	if n > 1<<maxPoolClass {
+		return make([]byte, 0, n)
+	}
+	cls := 0
+	if n > 1<<minPoolClass {
+		cls = bits.Len(uint(n-1)) - minPoolClass // ceil(log2 n) - min
+	}
+	if v := bufPools[cls].Get(); v != nil {
+		return (*v.(*[]byte))[:0]
+	}
+	return make([]byte, 0, 1<<(cls+minPoolClass))
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (nil is a no-op). The
+// caller must not touch b afterwards. Buffers are filed under the largest
+// class their capacity covers, so a pooled buffer always satisfies the
+// capacity promise of the class it is handed out from.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minPoolClass || c > 1<<maxPoolClass {
+		return
+	}
+	cls := bits.Len(uint(c)) - 1 - minPoolClass // floor(log2 cap) - min
+	b = b[:0]
+	bufPools[cls].Put(&b)
+}
