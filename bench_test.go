@@ -659,6 +659,100 @@ func BenchmarkStubbyStream(b *testing.B) {
 	}
 }
 
+// BenchmarkStubbyBulkUnary measures unary download throughput through the
+// zero-copy bulk lane: a small request fetches a size-B response, which
+// rides back as scatter-gather chunk frames (see DESIGN.md §12). Each
+// response buffer is recycled with FreeResponse so the receive path stays
+// allocation-free, and calls pipeline so the batch writer coalesces
+// frames — the configuration the ≥1 GB/s loopback target in
+// BENCH_stubby.json uses.
+func BenchmarkStubbyBulkUnary(b *testing.B) {
+	for _, size := range []int{16 * 1024, 64 * 1024, 256 * 1024} {
+		b.Run(byteLabel(size), func(b *testing.B) {
+			opts := stubby.Options{Workers: 8}
+			srv := stubby.NewServer(opts)
+			blob := make([]byte, size)
+			srv.Register("bench/Get", func(ctx context.Context, p []byte) ([]byte, error) {
+				return blob, nil
+			})
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			defer srv.Close()
+			ch, err := stubby.Dial(l.Addr().String(), "bench", opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ch.Close()
+			req := make([]byte, 16)
+			b.SetBytes(int64(size))
+			// Pipeline calls even on one core: in-flight calls keep the
+			// batch writer coalescing frames so syscall costs amortize.
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					out, err := ch.Call(context.Background(), "bench/Get", req)
+					if err != nil {
+						b.Fatal(err)
+					}
+					stubby.FreeResponse(out)
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStubbyStream100 measures a 100-item bidirectional stream over
+// the symmetric OpenStream API with per-item credit grants; ReportAllocs
+// feeds the stream_allocs_per_op series in BENCH_stubby.json (target:
+// ≤100 allocs for the whole 100-item stream).
+func BenchmarkStubbyStream100(b *testing.B) {
+	const items, itemSize = 100, 1024
+	opts := stubby.Options{Workers: 8}
+	srv := stubby.NewServer(opts)
+	srv.RegisterBidi("bench/Items", func(ctx context.Context, st *stubby.Stream) error {
+		item := make([]byte, itemSize)
+		for i := 0; i < items; i++ {
+			if err := st.Send(item); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	ch, err := stubby.Dial(l.Addr().String(), "bench", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ch.Close()
+	b.SetBytes(items * itemSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := ch.OpenStream(context.Background(), "bench/Items")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.CloseSend(); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, err := st.Recv(); err != nil {
+				break
+			}
+		}
+		st.Close()
+	}
+}
+
 // BenchmarkPoolCall measures pooled unary calls (4 connections).
 func BenchmarkPoolCall(b *testing.B) {
 	opts := stubby.Options{Workers: 8}

@@ -6,11 +6,17 @@
 //
 //	go test -run='^$' -bench=. -benchmem ./... | benchjson > BENCH.json
 //	benchjson bench-output.txt > BENCH.json
+//	benchjson -series bench-output.txt > BENCH.json
+//
+// With -series the output becomes an object {"results": [...],
+// "series": {...}} where series holds the named scalar metrics the bench
+// job tracks release-over-release (bulk_16KiB_MBps, stream_allocs_per_op).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -47,7 +53,7 @@ func parseBench(r io.Reader) ([]Result, error) {
 		if err != nil {
 			continue
 		}
-		res := Result{Name: fields[0], Iters: iters}
+		res := Result{Name: stripProcSuffix(fields[0]), Iters: iters}
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -73,7 +79,59 @@ func parseBench(r io.Reader) ([]Result, error) {
 	return out, sc.Err()
 }
 
-func run(in io.Reader, out io.Writer) error {
+// stripProcSuffix removes the trailing "-N" GOMAXPROCS marker go test
+// appends to benchmark names (BenchmarkFoo-8 → BenchmarkFoo), so series
+// lookups and cross-machine diffs key on stable names.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// seriesSpec maps one tracked series name to the benchmark and field it
+// is derived from.
+type seriesSpec struct {
+	series string
+	bench  string
+	field  func(Result) float64
+}
+
+// trackedSeries are the scalar metrics the bench job records in
+// BENCH_stubby.json release-over-release: bulk-lane 16 KiB throughput and
+// the allocation count of a 100-item stream (see ROADMAP targets).
+var trackedSeries = []seriesSpec{
+	{series: "bulk_16KiB_MBps", bench: "BenchmarkStubbyBulkUnary/16KB", field: func(r Result) float64 { return r.MBs }},
+	{series: "stream_allocs_per_op", bench: "BenchmarkStubbyStream100", field: func(r Result) float64 { return float64(r.AllocsOp) }},
+}
+
+// deriveSeries extracts the tracked series present in results.
+func deriveSeries(results []Result) map[string]float64 {
+	series := make(map[string]float64)
+	for _, spec := range trackedSeries {
+		for _, r := range results {
+			if r.Name == spec.bench {
+				series[spec.series] = spec.field(r)
+				break
+			}
+		}
+	}
+	return series
+}
+
+// report is the -series output shape.
+type report struct {
+	Results []Result           `json:"results"`
+	Series  map[string]float64 `json:"series"`
+}
+
+func run(in io.Reader, out io.Writer, withSeries bool) error {
 	results, err := parseBench(in)
 	if err != nil {
 		return err
@@ -83,13 +141,18 @@ func run(in io.Reader, out io.Writer) error {
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
+	if withSeries {
+		return enc.Encode(report{Results: results, Series: deriveSeries(results)})
+	}
 	return enc.Encode(results)
 }
 
 func main() {
+	withSeries := flag.Bool("series", false, "emit {results, series} with the tracked scalar metrics instead of a bare array")
+	flag.Parse()
 	in := io.Reader(os.Stdin)
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
@@ -97,7 +160,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout); err != nil {
+	if err := run(in, os.Stdout, *withSeries); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

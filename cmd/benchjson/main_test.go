@@ -13,7 +13,9 @@ pkg: rpcscale
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkStubbyUnary/128B         	  163239	     15980 ns/op	   8.01 MB/s	    1408 B/op	      20 allocs/op
 BenchmarkStubbyUnary/16KB         	   61854	     40708 ns/op	 402.48 MB/s	   17668 B/op	      20 allocs/op
+BenchmarkStubbyBulkUnary/16KB-8   	   55506	     21401 ns/op	 765.56 MB/s	    1432 B/op	      15 allocs/op
 BenchmarkStubbyStream             	     838	   3050646 ns/op	 687.45 MB/s	 2132185 B/op	     481 allocs/op
+BenchmarkStubbyStream100          	    1684	    763284 ns/op	 134.16 MB/s	   86002 B/op	      69 allocs/op
 BenchmarkPoolCall                 	  123051	     18939 ns/op	    1792 B/op	      20 allocs/op
 PASS
 ok  	rpcscale	14.094s
@@ -24,37 +26,76 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 4 {
-		t.Fatalf("parsed %d results, want 4", len(results))
+	if len(results) != 6 {
+		t.Fatalf("parsed %d results, want 6", len(results))
 	}
 	r := results[1]
 	if r.Name != "BenchmarkStubbyUnary/16KB" || r.Iters != 61854 ||
 		r.NsOp != 40708 || r.MBs != 402.48 || r.BOp != 17668 || r.AllocsOp != 20 {
 		t.Fatalf("unexpected parse: %+v", r)
 	}
+	// GOMAXPROCS suffix is stripped for stable names.
+	if results[2].Name != "BenchmarkStubbyBulkUnary/16KB" {
+		t.Fatalf("proc suffix not stripped: %q", results[2].Name)
+	}
 	// No MB/s column on PoolCall.
-	if results[3].MBs != 0 || results[3].AllocsOp != 20 {
-		t.Fatalf("unexpected parse: %+v", results[3])
+	if results[5].MBs != 0 || results[5].AllocsOp != 20 {
+		t.Fatalf("unexpected parse: %+v", results[5])
+	}
+}
+
+func TestStripProcSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":       "BenchmarkFoo",
+		"BenchmarkFoo/16KB-32": "BenchmarkFoo/16KB",
+		"BenchmarkFoo/16KB":    "BenchmarkFoo/16KB",
+		"BenchmarkFoo-":        "BenchmarkFoo-",
+		"BenchmarkFoo-x8":      "BenchmarkFoo-x8",
+	}
+	for in, want := range cases {
+		if got := stripProcSuffix(in); got != want {
+			t.Errorf("stripProcSuffix(%q) = %q, want %q", in, got, want)
+		}
 	}
 }
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &out, false); err != nil {
 		t.Fatal(err)
 	}
 	var decoded []Result
 	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(decoded) != 4 {
+	if len(decoded) != 6 {
 		t.Fatalf("round trip lost results: %d", len(decoded))
+	}
+}
+
+func TestRunSeries(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, true); err != nil {
+		t.Fatal(err)
+	}
+	var decoded report
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded.Results) != 6 {
+		t.Fatalf("round trip lost results: %d", len(decoded.Results))
+	}
+	if got := decoded.Series["bulk_16KiB_MBps"]; got != 765.56 {
+		t.Fatalf("bulk_16KiB_MBps = %v, want 765.56", got)
+	}
+	if got := decoded.Series["stream_allocs_per_op"]; got != 69 {
+		t.Fatalf("stream_allocs_per_op = %v, want 69", got)
 	}
 }
 
 func TestRunEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("no benchmarks here\n"), &out); err != nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &out, false); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "[]" {

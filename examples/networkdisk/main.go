@@ -114,7 +114,9 @@ func dialDisk(addrs []string, opts stubby.Options) (*diskClient, error) {
 		retry := stubby.WithRetry(stubby.DefaultRetryPolicy())
 		member := pool
 		c.call = append(c.call, func(ctx context.Context, method string, p []byte) ([]byte, error) {
-			return retry(ctx, method, p, member.Call)
+			return retry(ctx, method, p, func(ctx context.Context, method string, p []byte) ([]byte, error) {
+				return member.Call(ctx, method, p)
+			})
 		})
 	}
 	return c, nil

@@ -101,11 +101,22 @@ func (s *Session) Seal(plaintext []byte) []byte {
 // len(plaintext)+Overhead more bytes, SealAppend does not allocate. dst
 // must not overlap plaintext.
 func (s *Session) SealAppend(dst, plaintext []byte) []byte {
+	return s.SealAppendAAD(dst, plaintext, nil)
+}
+
+// SealAppendAAD is SealAppend with additional authenticated data: aad is
+// bound into the GCM tag without being encrypted, so clear-text framing
+// bytes (the bulk lane's chunk flags) travel outside the ciphertext yet
+// cannot be tampered with. The peer must pass the identical aad to
+// OpenAppendAAD. This is the stack's iovec-style seal: the plaintext
+// segment is ciphered straight from the caller's buffer into dst in one
+// pass, with the out-of-band segment authenticated rather than copied.
+func (s *Session) SealAppendAAD(dst, plaintext, aad []byte) []byte {
 	s.stats.Seals.Add(1)
 	s.stats.BytesEncrypted.Add(uint64(len(plaintext)))
 	binary.BigEndian.PutUint64(s.nonce[4:], s.ctr.Add(1))
 	dst = append(dst, s.nonce[:]...)
-	return s.aead.Seal(dst, s.nonce[:], plaintext, nil)
+	return s.aead.Seal(dst, s.nonce[:], plaintext, aad)
 }
 
 // Open decrypts a message produced by Seal into a fresh buffer. The data
@@ -119,12 +130,19 @@ func (s *Session) Open(msg []byte) ([]byte, error) {
 // len(msg)-Overhead more bytes, OpenAppend does not allocate. dst must
 // not overlap msg.
 func (s *Session) OpenAppend(dst, msg []byte) ([]byte, error) {
+	return s.OpenAppendAAD(dst, msg, nil)
+}
+
+// OpenAppendAAD decrypts a message produced by SealAppendAAD, verifying
+// that aad matches the additional data bound at seal time. A mismatch —
+// like any tampering — yields ErrDecrypt.
+func (s *Session) OpenAppendAAD(dst, msg, aad []byte) ([]byte, error) {
 	s.stats.Opens.Add(1)
 	if len(msg) < Overhead {
 		return nil, ErrDecrypt
 	}
 	nonce, ciphertext := msg[:12], msg[12:]
-	out, err := s.aead.Open(dst, nonce, ciphertext, nil)
+	out, err := s.aead.Open(dst, nonce, ciphertext, aad)
 	if err != nil {
 		return nil, ErrDecrypt
 	}

@@ -41,7 +41,7 @@ type Channel struct {
 
 	mu      sync.Mutex
 	pending map[uint64]*clientCall
-	streams map[uint64]*ServerStream
+	streams map[uint64]*Stream
 
 	pingMu   sync.Mutex
 	pingCh   chan time.Time
@@ -56,10 +56,15 @@ type Channel struct {
 // clientCall tracks one in-flight RPC. Timestamps are nanoseconds since
 // the channel epoch; 0 means "not reached".
 type clientCall struct {
-	req        request
-	streamID   uint64
-	dropped    bool  // fault plane: swallow the request instead of sending
-	enqueuedNs int64 // entered the send queue
+	req      request
+	streamID uint64
+	dropped  bool // fault plane: swallow the request instead of sending
+	// bulk routes this call through the zero-copy bulk lane: the payload
+	// leaves as chunk frames after a FrameBulkRequest envelope instead of
+	// riding inside it. bulkPayload is set by prepareCall.
+	bulk        bool
+	bulkPayload []byte
+	enqueuedNs  int64 // entered the send queue
 	// deqNs and sentNs are written by the sender goroutine while the
 	// calling goroutine may be timing out concurrently, so they are
 	// published atomically.
@@ -74,12 +79,22 @@ type channelError struct{ err error }
 
 // callResult is what the reader delivers to a waiting call. resp.Payload
 // aliases buf, a pooled recv buffer the waiting call returns with
-// wire.PutBuf after copying the payload out.
+// wire.PutBuf after copying the payload out. For bulk-lane responses
+// (bulk set), buf is a dedicated assembly buffer handed to the caller
+// outright — no copy-out, no PutBuf (DESIGN.md §12).
 type callResult struct {
 	resp   response
 	buf    []byte
+	bulk   bool
 	rxAtNs int64 // response frame fully read + decoded
 	netErr error
+}
+
+// clientBulk assembles one bulk-lane response: the envelope arrives as a
+// FrameBulkResponse, the payload as chunk frames on the same stream ID.
+type clientBulk struct {
+	resp response
+	data []byte
 }
 
 // sinceEpoch returns the channel-relative monotonic timestamp, always > 0
@@ -141,8 +156,13 @@ func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, er
 // Call issues a unary RPC and blocks for the response, the context's
 // cancellation, or the deadline. When the channel was configured with
 // Options.Retry or Options.Breaker, Call goes through those layers;
-// CallHedged and hand-built interceptor chains bypass them.
-func (c *Channel) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+// CallHedged and hand-built interceptor chains bypass them. Per-call
+// options (WithBulkLane, WithBulkThreshold) travel through the context so
+// the CallFunc chain stays oblivious to them.
+func (c *Channel) Call(ctx context.Context, method string, payload []byte, opts ...CallOption) ([]byte, error) {
+	if len(opts) > 0 {
+		ctx = ContextWithCallOptions(ctx, opts...)
+	}
 	return c.invoke(ctx, method, payload)
 }
 
@@ -225,6 +245,7 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 			Attempt:    attempt,
 		},
 		dropped:    dec.Drop,
+		bulk:       c.useBulkLane(resolveCallOpts(ctx, nil), len(payload)),
 		enqueuedNs: c.sinceEpoch(),
 		resultCh:   make(chan *callResult, 1),
 	}
@@ -260,12 +281,24 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 			return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
 		}
 		resp := &res.resp
-		// Copy the payload out of the pooled recv buffer and release it:
-		// the caller owns the returned bytes outright.
-		out, derr := c.copyOut(resp, res.buf)
-		res.buf = nil
-		if derr != nil {
-			return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Internal, hedged)
+		var out []byte
+		if res.bulk {
+			// Bulk lane: the assembly buffer was built for this call alone,
+			// so it transfers to the caller as-is — the zero-copy handoff
+			// the lane exists for. It may drop to the GC (legal per the
+			// DESIGN.md §11 ownership contract) or be recycled with
+			// FreeResponse by high-throughput callers.
+			out = resp.Payload
+			res.buf = nil
+		} else {
+			// Copy the payload out of the pooled recv buffer and release
+			// it: the caller owns the returned bytes outright.
+			var derr error
+			out, derr = c.copyOut(resp, res.buf)
+			res.buf = nil
+			if derr != nil {
+				return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Internal, hedged)
+			}
 		}
 		if c.opts.Collector != nil || c.opts.Telemetry != nil {
 			c.emit(c.buildSpan(call, method, tc, parentSpan, payload, out, resp, res.rxAtNs, rcvdNs, hedged))
@@ -310,6 +343,17 @@ func (c *Channel) copyOut(resp *response, buf []byte) ([]byte, error) {
 	}
 	wire.PutBuf(buf)
 	return cp, nil
+}
+
+// FreeResponse hands a response buffer returned by Call back to the data
+// plane's buffer pool. Responses that rode the bulk lane arrive in a
+// pooled buffer that otherwise drops to the GC when the caller is done;
+// high-throughput callers recycle it here to keep the receive path
+// allocation-free. The caller must own buf outright (no live aliases)
+// and must not touch it afterwards. Freeing is always optional — any
+// response buffer may simply go out of scope instead.
+func FreeResponse(buf []byte) {
+	wire.PutBuf(buf)
 }
 
 func cancelCode(ctx context.Context) trace.ErrorCode {
@@ -480,6 +524,21 @@ func (c *Channel) prepareCall(call *clientCall, batch []*clientCall, envs [][]by
 		return batch, envs, size
 	}
 	req := &call.req
+	if call.bulk {
+		// Bulk lane: the payload leaves as chunk frames sealed straight
+		// from the caller's buffer (stable until the call resolves), so it
+		// is never copied into the envelope — and never compressed; bulk
+		// payloads are past the size where compression pays its cycles.
+		if len(req.Payload) > wire.MaxFrameSize {
+			c.failCall(call, wire.ErrFrameTooLarge)
+			return batch, envs, size
+		}
+		call.bulkPayload = req.Payload
+		req.Payload = nil
+		req.BulkSize = uint64(len(call.bulkPayload))
+		env := appendRequest(wire.GetBuf(len(req.Method)+envelopeOverhead), req)
+		return append(batch, call), append(envs, env), size + len(env) + len(call.bulkPayload)
+	}
 	if c.opts.Compression != compressor.None && len(req.Payload) >= c.opts.CompressThreshold {
 		if compressed, err := c.comp.Compress(req.Payload); err == nil && len(compressed) < len(req.Payload) {
 			req.Payload = compressed
@@ -514,6 +573,18 @@ func (c *Channel) flushBatch(batch []*clientCall, envs [][]byte) {
 		if call == nil {
 			continue
 		}
+		if call.bulk {
+			// Envelope first, then the payload chunks on the same stream —
+			// all in this batch's single vectored write. Bulk-unary chunks
+			// are exempt from stream credit: the response bounds them.
+			if err = c.tr.appendLocked(wire.FrameBulkRequest, call.streamID, envs[i]); err != nil {
+				break
+			}
+			if err = c.tr.appendChunkedLocked(call.streamID, call.bulkPayload, 0); err != nil {
+				break
+			}
+			continue
+		}
 		if err = c.tr.appendLocked(wire.FrameRequest, call.streamID, envs[i]); err != nil {
 			break
 		}
@@ -543,37 +614,30 @@ func (c *Channel) failCall(call *clientCall, err error) {
 	}
 }
 
-// readLoop dispatches incoming frames to waiting calls.
+// readLoop dispatches incoming frames to waiting calls and streams. It
+// owns bulkIn, the bulk-lane response assemblies, so that path takes no
+// locks beyond the pending-map lookup.
 func (c *Channel) readLoop() {
 	defer c.loops.Done()
+	bulkIn := make(map[uint64]*clientBulk)
+	defer func() {
+		for _, b := range bulkIn {
+			wire.PutBuf(b.data)
+		}
+	}()
 	for {
-		f, plain, err := c.tr.recv()
+		m, err := c.tr.recv()
 		if err != nil {
 			c.fail(err)
 			return
 		}
-		switch f.Type {
+		plain := m.plain
+		switch m.typ {
 		case wire.FrameResponse:
 			rxNs := c.sinceEpoch()
-			if st := c.lookupStream(f.StreamID); st != nil {
-				resp := new(response)
-				if perr := parseResponseInto(resp, plain); perr != nil {
-					wire.PutBuf(plain)
-					st.fail(perr)
-					c.dropStream(f.StreamID)
-					continue
-				}
-				// Stream deliveries outlive this loop iteration, so the
-				// payload gets its own copy and the pooled buffer is
-				// recycled immediately.
-				resp.Payload = append([]byte(nil), resp.Payload...)
-				wire.PutBuf(plain)
-				st.deliver(resp)
-				continue
-			}
 			c.mu.Lock()
-			call := c.pending[f.StreamID]
-			delete(c.pending, f.StreamID)
+			call := c.pending[m.streamID]
+			delete(c.pending, m.streamID)
 			c.mu.Unlock()
 			if call == nil {
 				wire.PutBuf(plain)
@@ -588,6 +652,56 @@ func (c *Channel) readLoop() {
 			// Ownership of the pooled buffer travels with the result; the
 			// waiting call releases it after copying the payload out.
 			call.resultCh <- res
+		case wire.FrameBulkResponse:
+			// Envelope of a bulk-lane response: stash it and collect the
+			// payload from the chunk frames that follow.
+			b := &clientBulk{}
+			if perr := parseResponseInto(&b.resp, plain); perr != nil {
+				wire.PutBuf(plain)
+				c.failPending(m.streamID, perr)
+				continue
+			}
+			// Message was copied out by the parse; nothing aliases plain.
+			b.resp.Payload = nil
+			wire.PutBuf(plain)
+			if b.resp.BulkSize == 0 {
+				c.deliverBulk(m.streamID, b, nil)
+				continue
+			}
+			bulkIn[m.streamID] = b
+		case wire.FrameStreamChunk:
+			if st := c.lookupStream(m.streamID); st != nil {
+				st.deliverChunk(m.flags, plain)
+				continue
+			}
+			b := bulkIn[m.streamID]
+			if b == nil {
+				wire.PutBuf(plain) // reset or cancelled mid-transfer
+				continue
+			}
+			if b.data == nil && m.flags&chunkEndMsg != 0 {
+				b.data = plain // single-chunk response: zero-copy handoff
+			} else {
+				if b.data == nil {
+					b.data = wire.GetBuf(int(b.resp.BulkSize))
+				}
+				b.data = append(b.data, plain...)
+				wire.PutBuf(plain)
+			}
+			if m.flags&chunkEndMsg != 0 {
+				delete(bulkIn, m.streamID)
+				c.deliverBulk(m.streamID, b, b.data)
+			}
+		case wire.FrameWindowUpdate:
+			if st := c.lookupStream(m.streamID); st != nil {
+				st.grantFromPeer(plain)
+			}
+			wire.PutBuf(plain)
+		case wire.FrameReset:
+			if st := c.lookupStream(m.streamID); st != nil {
+				st.resetFromPeer(plain)
+			}
+			wire.PutBuf(plain)
 		case wire.FramePong:
 			wire.PutBuf(plain)
 			c.pingMu.Lock()
@@ -605,6 +719,49 @@ func (c *Channel) readLoop() {
 			wire.PutBuf(plain)
 		}
 	}
+}
+
+// deliverBulk completes a bulk-lane response: data (the assembly buffer,
+// possibly nil for an empty or error response) transfers to the waiting
+// caller.
+func (c *Channel) deliverBulk(streamID uint64, b *clientBulk, data []byte) {
+	rxNs := c.sinceEpoch()
+	c.mu.Lock()
+	call := c.pending[streamID]
+	delete(c.pending, streamID)
+	c.mu.Unlock()
+	if call == nil {
+		wire.PutBuf(data)
+		return
+	}
+	b.resp.Payload = data
+	call.resultCh <- &callResult{resp: b.resp, buf: data, bulk: true, rxAtNs: rxNs}
+}
+
+// failPending fails the pending call on streamID, if any.
+func (c *Channel) failPending(streamID uint64, err error) {
+	c.mu.Lock()
+	call := c.pending[streamID]
+	delete(c.pending, streamID)
+	c.mu.Unlock()
+	if call != nil {
+		c.failCall(call, err)
+	}
+}
+
+// lookupStream returns the live stream for id, nil if none.
+func (c *Channel) lookupStream(id uint64) *Stream {
+	c.mu.Lock()
+	st := c.streams[id]
+	c.mu.Unlock()
+	return st
+}
+
+// dropStream detaches a stream from the channel's table.
+func (c *Channel) dropStream(id uint64) {
+	c.mu.Lock()
+	delete(c.streams, id)
+	c.mu.Unlock()
 }
 
 // Ping measures transport round-trip time, including encryption but not
@@ -652,7 +809,7 @@ func (c *Channel) fail(err error) {
 		c.failCall(call, err)
 	}
 	for _, st := range streams {
-		st.fail(ErrUnavailable)
+		st.terminate(ErrUnavailable, false)
 	}
 }
 

@@ -1,0 +1,83 @@
+package stubby
+
+import (
+	"context"
+	"sync"
+)
+
+// Per-stream credit-based flow control, the HTTP/2 WINDOW_UPDATE model:
+// the sender spends credit for every message it sends and blocks at zero;
+// the receiver grants credit back as the application consumes messages.
+// One stalled stream therefore buffers at most its window on the receiver
+// and then stops — without blocking the shared connection, whose reader
+// never waits on any stream (see DESIGN.md §12).
+
+// creditWindow tracks one direction's send credit. grant and kill may be
+// called from any goroutine; take blocks until enough credit is
+// available, the window is killed, or ctx is done.
+type creditWindow struct {
+	mu    sync.Mutex
+	avail int64
+	err   error         // terminal: the stream died
+	wait  chan struct{} // closed and replaced on every grant/kill
+}
+
+func newCreditWindow(initial int64) *creditWindow {
+	return &creditWindow{avail: initial}
+}
+
+// take blocks until n credits are available and consumes them. It returns
+// the kill error if the window dies first, or the context's status error
+// if ctx is done first. The lock is never held while blocking: waiters
+// snapshot the wait channel and select outside the critical section.
+func (w *creditWindow) take(n int64, ctx context.Context) error {
+	w.mu.Lock()
+	for {
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		if w.avail >= n {
+			w.avail -= n
+			w.mu.Unlock()
+			return nil
+		}
+		if w.wait == nil {
+			w.wait = make(chan struct{})
+		}
+		ch := w.wait
+		w.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctxErrToStatus(ctx.Err())
+		}
+		w.mu.Lock()
+	}
+}
+
+// grant adds n credits and wakes blocked senders.
+func (w *creditWindow) grant(n int64) {
+	w.mu.Lock()
+	w.avail += n
+	if w.wait != nil {
+		close(w.wait)
+		w.wait = nil
+	}
+	w.mu.Unlock()
+}
+
+// kill terminates the window: blocked and future takes return err.
+// Subsequent kills keep the first error.
+func (w *creditWindow) kill(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	if w.wait != nil {
+		close(w.wait)
+		w.wait = nil
+	}
+	w.mu.Unlock()
+}

@@ -109,6 +109,20 @@ type Options struct {
 	// Robustness observes retry, breaker, and shedding events. Nil
 	// disables (telemetry.Plane.Apply installs itself here).
 	Robustness RobustnessObserver
+
+	// StreamWindow is the initial per-direction credit window of every
+	// stream opened on this endpoint, in bytes: the peer may have at most
+	// this many unconsumed payload bytes in flight per stream, and a
+	// single stream message may not exceed it. 0 selects the 256 KiB
+	// default; WithStreamWindow overrides per stream.
+	StreamWindow int
+
+	// BulkThreshold routes unary payloads of at least this many bytes
+	// through the zero-copy bulk lane (chunked, scatter-gather writes,
+	// no compression) instead of the inline envelope. 0 selects the
+	// 16 KiB default; negative disables the bulk lane. WithBulkThreshold
+	// and WithBulkLane override per call on the client side.
+	BulkThreshold int
 }
 
 var defaultSecret = []byte("rpcscale-development-psk")
@@ -133,5 +147,21 @@ func (o *Options) withDefaults() Options {
 	if out.DefaultDeadline == 0 {
 		out.DefaultDeadline = 30 * time.Second
 	}
+	if out.StreamWindow == 0 {
+		out.StreamWindow = defaultStreamWindow
+	}
+	if out.BulkThreshold == 0 {
+		out.BulkThreshold = defaultBulkThreshold
+	}
 	return out
 }
+
+// defaultStreamWindow is the default per-direction stream credit window:
+// large enough that a steady stream of the fleet's P99-sized messages
+// keeps the pipe full, small enough to bound per-stream receiver memory.
+const defaultStreamWindow = 256 << 10
+
+// defaultBulkThreshold is the payload size at which unary calls switch to
+// the bulk lane. 16 KiB sits just above the fleet's P99 request (Fig. 6):
+// the envelope path keeps the common case, the bulk lane takes the tail.
+const defaultBulkThreshold = 16 << 10

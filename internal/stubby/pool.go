@@ -76,13 +76,13 @@ func (p *Pool) pick() (*Channel, error) {
 // Call issues a unary RPC on one pool member. A channel that died is
 // replaced in the background and the call is retried once on another
 // member.
-func (p *Pool) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+func (p *Pool) Call(ctx context.Context, method string, payload []byte, opts ...CallOption) ([]byte, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		ch, err := p.pick()
 		if err != nil {
 			return nil, err
 		}
-		out, err := ch.Call(ctx, method, payload)
+		out, err := ch.Call(ctx, method, payload, opts...)
 		if err == nil {
 			return out, nil
 		}

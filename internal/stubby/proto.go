@@ -26,6 +26,8 @@ const (
 	reqHedged     = 8
 	reqCallSeq    = 9
 	reqAttempt    = 10
+	reqWindow     = 11
+	reqBulkSize   = 12
 )
 
 // Response envelope field numbers.
@@ -40,6 +42,7 @@ const (
 	respProcNs      = 8
 	respElapsedNs   = 9
 	respMore        = 10
+	respBulkSize    = 11
 )
 
 var requestDesc = codec.MustDescriptor("stubby.Request",
@@ -53,6 +56,8 @@ var requestDesc = codec.MustDescriptor("stubby.Request",
 	codec.Field{Number: reqHedged, Name: "hedged", Type: codec.TypeBool},
 	codec.Field{Number: reqCallSeq, Name: "call_seq", Type: codec.TypeUint64},
 	codec.Field{Number: reqAttempt, Name: "attempt", Type: codec.TypeUint64},
+	codec.Field{Number: reqWindow, Name: "stream_window", Type: codec.TypeUint64},
+	codec.Field{Number: reqBulkSize, Name: "bulk_size", Type: codec.TypeUint64},
 )
 
 var responseDesc = codec.MustDescriptor("stubby.Response",
@@ -66,6 +71,7 @@ var responseDesc = codec.MustDescriptor("stubby.Response",
 	codec.Field{Number: respProcNs, Name: "resp_proc_ns", Type: codec.TypeUint64},
 	codec.Field{Number: respElapsedNs, Name: "server_elapsed_ns", Type: codec.TypeUint64},
 	codec.Field{Number: respMore, Name: "more", Type: codec.TypeBool},
+	codec.Field{Number: respBulkSize, Name: "bulk_size", Type: codec.TypeUint64},
 )
 
 // request is the decoded request envelope.
@@ -84,6 +90,12 @@ type request struct {
 	// decisions and let servers account retry amplification.
 	CallSeq uint64
 	Attempt uint32
+	// Window, on a stream-open envelope, is the initial per-direction
+	// credit window in bytes (see DESIGN.md §12).
+	Window uint32
+	// BulkSize, on a bulk-request envelope, is the total payload size that
+	// follows as stream chunks; the envelope itself carries no payload.
+	BulkSize uint64
 }
 
 // marshalReference encodes r through the generic codec layer. It is the
@@ -113,6 +125,12 @@ func (r *request) marshalReference() ([]byte, error) {
 	}
 	if r.Attempt != 0 {
 		m.Set(reqAttempt, uint64(r.Attempt))
+	}
+	if r.Window != 0 {
+		m.Set(reqWindow, uint64(r.Window))
+	}
+	if r.BulkSize != 0 {
+		m.Set(reqBulkSize, r.BulkSize)
 	}
 	return codec.Marshal(m)
 }
@@ -178,6 +196,12 @@ func appendRequest(dst []byte, r *request) []byte {
 	if r.Attempt != 0 {
 		dst = appendUintField(dst, reqAttempt, uint64(r.Attempt))
 	}
+	if r.Window != 0 {
+		dst = appendUintField(dst, reqWindow, uint64(r.Window))
+	}
+	if r.BulkSize != 0 {
+		dst = appendUintField(dst, reqBulkSize, r.BulkSize)
+	}
 	return dst
 }
 
@@ -223,6 +247,10 @@ func parseRequestInto(r *request, buf []byte, intern func([]byte) string) error 
 				r.CallSeq = x
 			case reqAttempt:
 				r.Attempt = uint32(x)
+			case reqWindow:
+				r.Window = uint32(x)
+			case reqBulkSize:
+				r.BulkSize = x
 			}
 		case 2: // length-delimited
 			length, n := wire.Uvarint(buf)
@@ -284,6 +312,9 @@ type response struct {
 	// and carries the server timings.
 	More    bool
 	Timings serverTimings
+	// BulkSize, on a bulk-response envelope, is the total payload size
+	// that follows as stream chunks (the envelope carries no payload).
+	BulkSize uint64
 }
 
 // marshalReference encodes r through the generic codec layer — the
@@ -306,6 +337,9 @@ func (r *response) marshalReference() ([]byte, error) {
 		Set(respSendQueueNs, uint64(r.Timings.SendQueue)).
 		Set(respProcNs, uint64(r.Timings.RespProc)).
 		Set(respElapsedNs, uint64(r.Timings.Elapsed))
+	if r.BulkSize != 0 {
+		m.Set(respBulkSize, r.BulkSize)
+	}
 	return codec.Marshal(m)
 }
 
@@ -327,6 +361,9 @@ func appendResponse(dst []byte, r *response) []byte {
 	dst = appendUintField(dst, respElapsedNs, uint64(r.Timings.Elapsed))
 	if r.More {
 		dst = appendBoolField(dst, respMore, true)
+	}
+	if r.BulkSize != 0 {
+		dst = appendUintField(dst, respBulkSize, r.BulkSize)
 	}
 	return dst
 }
@@ -367,6 +404,8 @@ func parseResponseInto(r *response, buf []byte) error {
 				r.Timings.RespProc = time.Duration(x)
 			case respElapsedNs:
 				r.Timings.Elapsed = time.Duration(x)
+			case respBulkSize:
+				r.BulkSize = x
 			}
 		case 2: // length-delimited
 			length, n := wire.Uvarint(buf)

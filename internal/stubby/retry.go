@@ -17,7 +17,9 @@ type CallFunc func(ctx context.Context, method string, payload []byte) ([]byte, 
 // Intercepted returns a CallFunc that applies the interceptors around the
 // channel's Call, outermost first.
 func (c *Channel) Intercepted(interceptors ...ClientInterceptor) CallFunc {
-	invoke := c.Call
+	var invoke CallFunc = func(ctx context.Context, method string, payload []byte) ([]byte, error) {
+		return c.Call(ctx, method, payload)
+	}
 	for i := len(interceptors) - 1; i >= 0; i-- {
 		mid, next := interceptors[i], invoke
 		invoke = func(ctx context.Context, method string, payload []byte) ([]byte, error) {

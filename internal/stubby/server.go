@@ -30,11 +30,11 @@ type Server struct {
 	opts Options
 	comp *compressor.Compressor
 
-	mu             sync.RWMutex
-	handlers       map[string]Handler
-	streamHandlers map[string]StreamHandler
-	methodNames    map[string]string // interned registered names, keyed by themselves
-	intcpt         []ServerInterceptor
+	mu           sync.RWMutex
+	handlers     map[string]Handler
+	bidiHandlers map[string]BidiHandler
+	methodNames  map[string]string // interned registered names, keyed by themselves
+	intcpt       []ServerInterceptor
 
 	// intern is internMethod bound once at construction so the per-request
 	// decode path does not allocate a method-value closure.
@@ -56,11 +56,15 @@ type Server struct {
 // accumulated so far. raw is a pooled recv buffer: ownership travels with
 // the call, and the buffer is released only after the response envelope is
 // sealed (the handler's payload — and possibly its response — alias it).
+// A stream open carries the eagerly registered stream; a bulk-lane
+// request carries its reassembled payload in bulkData (also pooled).
 type serverCall struct {
 	conn     *serverConn
 	streamID uint64
 	req      request   // decoded on a worker; Payload aliases raw
 	raw      []byte    // pooled decrypted envelope bytes
+	stream   *Stream   // non-nil: this is a stream open, not a unary call
+	bulkData []byte    // pooled bulk-lane request payload
 	readDone time.Time // when the request frame finished arriving
 }
 
@@ -74,6 +78,9 @@ type serverConn struct {
 
 	cancelMu sync.Mutex
 	cancels  map[uint64]context.CancelFunc // in-flight calls by stream ID
+
+	streamMu sync.Mutex
+	streams  map[uint64]*Stream // live bidirectional streams
 }
 
 func (c *serverConn) shutdown() {
@@ -104,14 +111,53 @@ func (c *serverConn) cancelStream(id uint64) {
 	}
 }
 
+func (c *serverConn) addStream(id uint64, st *Stream) {
+	c.streamMu.Lock()
+	if c.streams == nil {
+		c.streams = make(map[uint64]*Stream)
+	}
+	c.streams[id] = st
+	c.streamMu.Unlock()
+}
+
+func (c *serverConn) lookupStream(id uint64) *Stream {
+	c.streamMu.Lock()
+	st := c.streams[id]
+	c.streamMu.Unlock()
+	return st
+}
+
+func (c *serverConn) dropStream(id uint64) {
+	c.streamMu.Lock()
+	delete(c.streams, id)
+	c.streamMu.Unlock()
+}
+
+// failStreams terminates every live stream on the connection, used when
+// its read loop exits.
+func (c *serverConn) failStreams() {
+	c.streamMu.Lock()
+	streams := c.streams
+	c.streams = nil
+	c.streamMu.Unlock()
+	for _, st := range streams {
+		st.terminate(ErrUnavailable, false)
+	}
+}
+
 // serverResponse is a response waiting in the send queue.
 type serverResponse struct {
 	streamID uint64
-	// raw, when set, is a pre-marshalled pooled frame payload (stream
-	// items); resp drives the normal final-response path.
-	raw       []byte
-	resp      response
-	reqBuf    []byte    // pooled request envelope, released after the response seals
+	resp     response
+	reqBuf   []byte // pooled request envelope, released after the response seals
+	// reqBulk is the pooled bulk-lane request payload; like reqBuf it is
+	// released only after the response seals (the handler's response may
+	// alias it — echo servers return their input).
+	reqBulk []byte
+	// bulk routes the response payload through the bulk lane: bulkOut
+	// leaves as chunk frames after a FrameBulkResponse envelope.
+	bulk      bool
+	bulkOut   []byte
 	appDone   time.Time // handler completion: send-queue time starts here
 	readDone  time.Time // request arrival, for Elapsed
 	recvQueue time.Duration
@@ -122,14 +168,14 @@ type serverResponse struct {
 func NewServer(opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
-		opts:           o,
-		comp:           compressor.New(o.Compression, o.CompressorStats),
-		handlers:       make(map[string]Handler),
-		streamHandlers: make(map[string]StreamHandler),
-		methodNames:    make(map[string]string),
-		recvQ:          make(chan *serverCall, o.RecvQueueLen),
-		listeners:      make(map[net.Listener]struct{}),
-		closed:         make(chan struct{}),
+		opts:         o,
+		comp:         compressor.New(o.Compression, o.CompressorStats),
+		handlers:     make(map[string]Handler),
+		bidiHandlers: make(map[string]BidiHandler),
+		methodNames:  make(map[string]string),
+		recvQ:        make(chan *serverCall, o.RecvQueueLen),
+		listeners:    make(map[net.Listener]struct{}),
+		closed:       make(chan struct{}),
 	}
 	s.intern = s.internMethod
 	for i := 0; i < o.Workers; i++ {
@@ -147,7 +193,7 @@ func (s *Server) Register(method string, h Handler) {
 	if _, dup := s.handlers[method]; dup {
 		panic(fmt.Sprintf("stubby: duplicate handler for %q", method))
 	}
-	if _, dup := s.streamHandlers[method]; dup {
+	if _, dup := s.bidiHandlers[method]; dup {
 		panic(fmt.Sprintf("stubby: %q already registered as a stream", method))
 	}
 	s.handlers[method] = h
@@ -209,18 +255,39 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// readLoop pulls frames off one connection and enqueues requests.
+// serverBulk assembles one bulk-lane request: the envelope arrives as a
+// FrameBulkRequest, the payload as chunk frames on the same stream ID.
+type serverBulk struct {
+	env       []byte // pooled request envelope
+	data      []byte // pooled payload assembly
+	readStart time.Time
+}
+
+// readLoop pulls frames off one connection and enqueues requests. It owns
+// bulkIn, the bulk-lane request assemblies, so chunk reassembly takes no
+// locks; live streams get their chunks delivered directly (deliverChunk
+// never blocks — credit windows bound the queued bytes — so one stalled
+// stream cannot head-of-line-block the connection).
 func (s *Server) readLoop(sc *serverConn) {
 	defer s.conns.Done()
 	defer sc.shutdown()
+	defer sc.failStreams()
+	bulkIn := make(map[uint64]*serverBulk)
+	defer func() {
+		for _, b := range bulkIn {
+			wire.PutBuf(b.env)
+			wire.PutBuf(b.data)
+		}
+	}()
 	for {
-		f, plain, err := sc.tr.recv()
+		m, err := sc.tr.recv()
 		if err != nil {
 			// EOF, a closed socket, or a connection-level failure;
 			// nothing to salvage either way.
 			return
 		}
-		switch f.Type {
+		plain := m.plain
+		switch m.typ {
 		case wire.FrameRequest:
 			if t := s.opts.ShedThreshold; t > 0 && len(s.recvQ) >= t {
 				// Load shedding: past the configured queue depth, new
@@ -228,33 +295,71 @@ func (s *Server) readLoop(sc *serverConn) {
 				// miss, so reject them immediately with Unavailable —
 				// the fail-fast overload posture the paper's §7 retry
 				// analysis assumes servers adopt.
-				s.shed(sc, f.StreamID, plain)
+				s.shed(sc, m.streamID, plain)
 				wire.PutBuf(plain)
 				continue
 			}
 			call := &serverCall{
 				conn:     sc,
-				streamID: f.StreamID,
+				streamID: m.streamID,
 				raw:      plain, // pooled; ownership travels with the call
 				readDone: time.Now(),
 			}
-			select {
-			case s.recvQ <- call:
-			case <-s.closed:
-				wire.PutBuf(plain)
+			if !s.enqueue(call) {
 				return
-			default:
-				// Receive queue full: shed load with NoResource, the
-				// overload behavior the paper's error taxonomy records.
-				wire.PutBuf(plain)
-				s.reject(sc, f.StreamID, trace.NoResource, "server receive queue full")
 			}
+		case wire.FrameBulkRequest:
+			// Envelope of a bulk-lane request; the payload follows as
+			// chunks. Queue admission happens when the payload completes.
+			bulkIn[m.streamID] = &serverBulk{env: plain, readStart: time.Now()}
+		case wire.FrameStreamOpen:
+			if !s.acceptStream(sc, m.streamID, plain) {
+				return
+			}
+		case wire.FrameStreamChunk:
+			if b := bulkIn[m.streamID]; b != nil {
+				done, ok := s.assembleBulk(sc, m.streamID, b, m.flags, plain)
+				if done {
+					delete(bulkIn, m.streamID)
+				}
+				if !ok {
+					return
+				}
+				continue
+			}
+			if st := sc.lookupStream(m.streamID); st != nil {
+				st.deliverChunk(m.flags, plain)
+				continue
+			}
+			wire.PutBuf(plain) // stream already reset or unknown
+		case wire.FrameWindowUpdate:
+			if st := sc.lookupStream(m.streamID); st != nil {
+				st.grantFromPeer(plain)
+			}
+			wire.PutBuf(plain)
+		case wire.FrameReset:
+			if b := bulkIn[m.streamID]; b != nil {
+				delete(bulkIn, m.streamID)
+				wire.PutBuf(b.env)
+				wire.PutBuf(b.data)
+			}
+			if st := sc.lookupStream(m.streamID); st != nil {
+				// Terminating cancels the handler's context promptly and
+				// fails its blocked Sends — the client walked away.
+				st.resetFromPeer(plain)
+			}
+			wire.PutBuf(plain)
 		case wire.FrameCancel:
 			wire.PutBuf(plain)
-			sc.cancelStream(f.StreamID)
+			if b := bulkIn[m.streamID]; b != nil {
+				delete(bulkIn, m.streamID)
+				wire.PutBuf(b.env)
+				wire.PutBuf(b.data)
+			}
+			sc.cancelStream(m.streamID)
 		case wire.FramePing:
 			wire.PutBuf(plain)
-			_ = sc.tr.send(wire.FramePong, f.StreamID, nil)
+			_ = sc.tr.send(wire.FramePong, m.streamID, nil)
 		case wire.FrameGoAway:
 			wire.PutBuf(plain)
 			return
@@ -262,6 +367,105 @@ func (s *Server) readLoop(sc *serverConn) {
 			wire.PutBuf(plain)
 		}
 	}
+}
+
+// enqueue admits one decoded call to the receive queue; false means the
+// server is shutting down and the read loop should exit.
+func (s *Server) enqueue(call *serverCall) bool {
+	select {
+	case s.recvQ <- call:
+		return true
+	case <-s.closed:
+		wire.PutBuf(call.raw)
+		wire.PutBuf(call.bulkData)
+		if call.stream != nil {
+			call.stream.terminate(ErrUnavailable, false)
+		}
+		return false
+	default:
+		// Receive queue full: shed load with NoResource, the overload
+		// behavior the paper's error taxonomy records.
+		if call.stream != nil {
+			call.stream.terminate(Errorf(trace.NoResource, "server receive queue full"), true)
+		} else {
+			s.reject(call.conn, call.streamID, trace.NoResource, "server receive queue full")
+		}
+		wire.PutBuf(call.raw)
+		wire.PutBuf(call.bulkData)
+		return true
+	}
+}
+
+// acceptStream registers a new inbound stream eagerly — chunks may arrive
+// before a worker decodes the open envelope, and the stream must exist to
+// receive them. Its send window starts at zero; the worker installs the
+// client's declared window after the decode. False means shutdown.
+func (s *Server) acceptStream(sc *serverConn, streamID uint64, env []byte) bool {
+	if t := s.opts.ShedThreshold; t > 0 && len(s.recvQ) >= t {
+		st := &Status{Code: trace.Unavailable, Message: "server overloaded: load shed"}
+		_ = sc.tr.sendReset(streamID, st)
+		if s.opts.Robustness != nil {
+			method := ""
+			if req, err := parseRequest(env); err == nil {
+				method = req.Method
+			}
+			s.opts.Robustness.CallShed(method)
+		}
+		wire.PutBuf(env)
+		return true
+	}
+	st := newStream(sc.tr, streamID, 0)
+	st.sc = sc
+	sc.addStream(streamID, st)
+	call := &serverCall{
+		conn:     sc,
+		streamID: streamID,
+		raw:      env,
+		stream:   st,
+		readDone: time.Now(),
+	}
+	return s.enqueue(call)
+}
+
+// assembleBulk folds one chunk into a bulk-lane request assembly. done
+// reports the assembly finished (successfully or not); ok=false means the
+// server is shutting down.
+func (s *Server) assembleBulk(sc *serverConn, streamID uint64, b *serverBulk, flags byte, data []byte) (done, ok bool) {
+	if len(b.data)+len(data) > wire.MaxFrameSize {
+		// A well-behaved client caps bulk payloads at MaxFrameSize; this
+		// peer did not.
+		wire.PutBuf(data)
+		wire.PutBuf(b.env)
+		wire.PutBuf(b.data)
+		s.reject(sc, streamID, trace.InvalidArgument, "bulk request exceeds maximum size")
+		return true, true
+	}
+	if b.data == nil && flags&chunkEndMsg != 0 {
+		b.data = data // single-chunk payload: zero-copy handoff
+	} else {
+		if b.data == nil {
+			b.data = wire.GetBuf(2 * len(data))
+		}
+		b.data = append(b.data, data...)
+		wire.PutBuf(data)
+	}
+	if flags&chunkEndMsg == 0 {
+		return false, true
+	}
+	if t := s.opts.ShedThreshold; t > 0 && len(s.recvQ) >= t {
+		s.shed(sc, streamID, b.env)
+		wire.PutBuf(b.env)
+		wire.PutBuf(b.data)
+		return true, true
+	}
+	call := &serverCall{
+		conn:     sc,
+		streamID: streamID,
+		raw:      b.env,
+		bulkData: b.data,
+		readDone: b.readStart,
+	}
+	return true, s.enqueue(call)
 }
 
 // shed rejects one request at the shedding threshold. The envelope is
@@ -311,25 +515,34 @@ func (s *Server) worker() {
 }
 
 func (s *Server) handle(call *serverCall) {
+	if call.stream != nil {
+		// Stream open: fault injection covers unary calls only; streams
+		// pass through (they are outside the paper's sampled RPC classes).
+		s.handleBidi(call)
+		return
+	}
 	req := &call.req
 	s.mu.RLock()
 	err := parseRequestInto(req, call.raw, s.intern)
 	var h Handler
-	var sh StreamHandler
 	var intcpt []ServerInterceptor
 	if err == nil {
 		h = s.handlers[req.Method]
-		sh = s.streamHandlers[req.Method]
 		intcpt = s.intcpt
 	}
 	s.mu.RUnlock()
 	if err != nil {
 		s.reject(call.conn, call.streamID, trace.Internal, err.Error())
 		wire.PutBuf(call.raw)
+		wire.PutBuf(call.bulkData)
 		return
 	}
 	payload := req.Payload
-	if req.Compressed {
+	if call.bulkData != nil {
+		// Bulk-lane request: the payload arrived as chunks, never
+		// compressed, reassembled into its own pooled buffer.
+		payload = call.bulkData
+	} else if req.Compressed {
 		payload, err = s.comp.Decompress(payload)
 		if err != nil {
 			s.reject(call.conn, call.streamID, trace.Internal, "decompress: "+err.Error())
@@ -341,12 +554,6 @@ func (s *Server) handle(call *serverCall) {
 	// happened between readDone and now, so the measurement matches.
 	recvQueue := time.Since(call.readDone)
 	req.Payload = payload
-
-	if sh != nil {
-		// Fault injection covers unary calls only; streams pass through.
-		s.handleStream(call, req, sh, recvQueue)
-		return
-	}
 
 	// Server-scope fault decision, keyed by the envelope's call ID and
 	// attempt number so schedules replay deterministically (see
@@ -361,11 +568,13 @@ func (s *Server) handle(call *serverCall) {
 		if dec.Reject != trace.OK {
 			s.reject(call.conn, call.streamID, dec.Reject, "fault injection: rejected")
 			wire.PutBuf(call.raw)
+			wire.PutBuf(call.bulkData)
 			return
 		}
 		if dec.Drop {
 			// The response vanishes; the client's deadline expires.
 			wire.PutBuf(call.raw)
+			wire.PutBuf(call.bulkData)
 			return
 		}
 		if dec.Corrupt {
@@ -429,9 +638,10 @@ func (s *Server) handle(call *serverCall) {
 	sr := &serverResponse{
 		streamID: call.streamID,
 		// The handler's response may alias the request envelope (echo
-		// servers return their input), so the pooled request buffer rides
-		// along and is released only after the response is sealed.
+		// servers return their input), so the pooled request buffers ride
+		// along and are released only after the response is sealed.
 		reqBuf:    call.raw,
+		reqBulk:   call.bulkData,
 		appDone:   appDone,
 		readDone:  call.readDone,
 		recvQueue: recvQueue,
@@ -488,38 +698,43 @@ func (s *Server) writeLoop(sc *serverConn) {
 }
 
 // prepareResponse compresses and marshals one queued response into a
-// pooled envelope, appending it to the batch. Stream items arrive
-// pre-marshalled in sr.raw and pass straight through.
+// pooled envelope, appending it to the batch. Payloads at or past the
+// bulk threshold switch to the bulk lane: the envelope carries only the
+// size, and the payload leaves as chunk frames sealed straight from the
+// handler's buffer — no copy into the envelope, no compression.
 func (s *Server) prepareResponse(sr *serverResponse, batch []*serverResponse, envs [][]byte, size int) ([]*serverResponse, [][]byte, int) {
-	env := sr.raw
-	if env == nil {
-		procStart := time.Now()
-		resp := &sr.resp
-		if s.opts.Compression != compressor.None && len(resp.Payload) >= s.opts.CompressThreshold {
-			if compressed, err := s.comp.Compress(resp.Payload); err == nil && len(compressed) < len(resp.Payload) {
-				resp.Payload = compressed
-				resp.Compressed = true
-			}
+	procStart := time.Now()
+	resp := &sr.resp
+	if th := s.opts.BulkThreshold; th > 0 && len(resp.Payload) >= th && len(resp.Payload) <= wire.MaxFrameSize {
+		sr.bulk = true
+		sr.bulkOut = resp.Payload
+		resp.BulkSize = uint64(len(resp.Payload))
+		resp.Payload = nil
+	} else if s.opts.Compression != compressor.None && len(resp.Payload) >= s.opts.CompressThreshold {
+		if compressed, err := s.comp.Compress(resp.Payload); err == nil && len(compressed) < len(resp.Payload) {
+			resp.Payload = compressed
+			resp.Compressed = true
 		}
-		resp.Timings = serverTimings{
-			RecvQueue: sr.recvQueue,
-			App:       sr.app,
-			SendQueue: procStart.Sub(sr.appDone),
-		}
-		// Marshal once to measure RespProc including serialization; the
-		// timing fields are filled before the final marshal so RespProc is
-		// a lower bound measured up to the write.
-		env = appendResponse(wire.GetBuf(len(resp.Payload)+envelopeOverhead), resp)
-		resp.Timings.RespProc = time.Since(procStart)
-		resp.Timings.Elapsed = time.Since(sr.readDone)
-		env = appendResponse(env[:0], resp)
 	}
+	resp.Timings = serverTimings{
+		RecvQueue: sr.recvQueue,
+		App:       sr.app,
+		SendQueue: procStart.Sub(sr.appDone),
+	}
+	// Marshal once to measure RespProc including serialization; the
+	// timing fields are filled before the final marshal so RespProc is
+	// a lower bound measured up to the write.
+	env := appendResponse(wire.GetBuf(len(resp.Payload)+envelopeOverhead), resp)
+	resp.Timings.RespProc = time.Since(procStart)
+	resp.Timings.Elapsed = time.Since(sr.readDone)
+	env = appendResponse(env[:0], resp)
 	if len(env)+secure.Overhead > wire.MaxFrameSize {
 		wire.PutBuf(env)
 		wire.PutBuf(sr.reqBuf)
+		wire.PutBuf(sr.reqBulk)
 		return batch, envs, size // oversize: drop; the client's deadline expires
 	}
-	return append(batch, sr), append(envs, env), size + len(env)
+	return append(batch, sr), append(envs, env), size + len(env) + len(sr.bulkOut)
 }
 
 // flushResponses seals every prepared envelope into the transport's write
@@ -533,6 +748,18 @@ func (s *Server) flushResponses(sc *serverConn, batch []*serverResponse, envs []
 	sc.tr.lockSend()
 	var err error
 	for i, sr := range batch {
+		if sr.bulk {
+			// Envelope first, then the payload chunks on the same stream —
+			// all in this batch's single vectored write. Bulk-unary chunks
+			// are exempt from stream credit: the request bounded them.
+			if err = sc.tr.appendLocked(wire.FrameBulkResponse, sr.streamID, envs[i]); err != nil {
+				break
+			}
+			if err = sc.tr.appendChunkedLocked(sr.streamID, sr.bulkOut, 0); err != nil {
+				break
+			}
+			continue
+		}
 		if err = sc.tr.appendLocked(wire.FrameResponse, sr.streamID, envs[i]); err != nil {
 			break
 		}
@@ -544,6 +771,7 @@ func (s *Server) flushResponses(sc *serverConn, batch []*serverResponse, envs []
 	for i, sr := range batch {
 		wire.PutBuf(envs[i])
 		wire.PutBuf(sr.reqBuf)
+		wire.PutBuf(sr.reqBulk)
 	}
 }
 

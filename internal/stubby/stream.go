@@ -7,129 +7,116 @@ import (
 	"sync"
 	"time"
 
-	"rpcscale/internal/secure"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/wire"
 )
 
-// Server-streaming RPCs: one request, a sequence of response messages
-// terminated by a final status. The paper's tracing methodology excludes
+// Bidirectional streaming RPCs over the bulk lane: one stream-open
+// envelope, then chunked messages in both directions under per-stream
+// credit windows, terminated by a final status chunk from the server (or
+// a reset from either side). The paper's tracing methodology excludes
 // streaming RPCs from its sampling ("the sampling omits some RPC classes,
 // such as streaming RPCs that are used for some bulk-data transfers",
 // §2.1); this implementation mirrors that — streams do not emit trace
 // spans — while giving the stack the bulk-transfer class those services
 // actually use.
 
-// StreamHandler serves a server-streaming method: it sends zero or more
-// messages via send and returns the final status. send blocks when the
-// connection's send queue is full and fails once the client cancels.
-type StreamHandler func(ctx context.Context, payload []byte, send func([]byte) error) error
+// BidiHandler serves a bidirectional streaming method: it exchanges
+// messages on stream and returns the final status. The stream's Recv
+// returns io.EOF once the client half-closes; Send fails once the client
+// resets or the connection dies.
+type BidiHandler func(ctx context.Context, stream *Stream) error
 
-// RegisterStream installs a server-streaming handler. Unary and streaming
-// methods share one namespace.
-func (s *Server) RegisterStream(method string, h StreamHandler) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.handlers[method]; dup {
-		panic(fmt.Sprintf("stubby: duplicate handler for %q", method))
-	}
-	if _, dup := s.streamHandlers[method]; dup {
-		panic(fmt.Sprintf("stubby: duplicate stream handler for %q", method))
-	}
-	if s.streamHandlers == nil {
-		s.streamHandlers = make(map[string]StreamHandler)
-	}
-	s.streamHandlers[method] = h
-	s.methodNames[method] = method
-}
-
-// handleStream runs a streaming call on a worker.
-func (s *Server) handleStream(call *serverCall, req *request, h StreamHandler, recvQueue time.Duration) {
-	ctx := ContextWithTrace(context.Background(), TraceContext{
-		TraceID: req.TraceID,
-		SpanID:  req.SpanID,
-	})
-	var cancel context.CancelFunc
-	if req.Deadline > 0 {
-		ctx, cancel = context.WithTimeout(ctx, req.Deadline)
-	} else {
-		ctx, cancel = context.WithCancel(ctx)
-	}
-	call.conn.storeCancel(call.streamID, cancel)
-	defer func() {
-		call.conn.deleteCancel(call.streamID)
-		cancel()
-	}()
-
-	appStart := time.Now()
-	send := func(item []byte) error {
-		if err := ctx.Err(); err != nil {
-			return ctxErrToStatus(err)
-		}
-		resp := response{Code: trace.OK, Payload: item, More: true}
-		buf := appendResponse(wire.GetBuf(len(item)+envelopeOverhead), &resp)
-		if len(buf)+secure.Overhead > wire.MaxFrameSize {
-			wire.PutBuf(buf)
-			return Errorf(trace.InvalidArgument, "stream item exceeds max frame size")
-		}
-		select {
-		case call.conn.sendQ <- &serverResponse{streamID: call.streamID, raw: buf}:
-			// buf ownership moves to the write loop, which releases it
-			// after sealing the frame.
-			return nil
-		case <-call.conn.closed:
-			wire.PutBuf(buf)
-			return ErrUnavailable
-		case <-ctx.Done():
-			wire.PutBuf(buf)
-			return ctxErrToStatus(ctx.Err())
-		}
-	}
-
-	herr := h(ctx, req.Payload, send)
-	// The handler is done with the request payload; the pooled envelope
-	// backing it can be recycled before the final status is queued.
-	wire.PutBuf(call.raw)
-	call.raw = nil
-	if herr == nil && ctx.Err() != nil {
-		herr = ctxErrToStatus(ctx.Err())
-	}
-	appDone := time.Now()
-	st := StatusFromError(herr)
-	sr := &serverResponse{
-		streamID:  call.streamID,
-		appDone:   appDone,
-		readDone:  call.readDone,
-		recvQueue: recvQueue,
-		app:       appDone.Sub(appStart),
-	}
-	sr.resp.Code = st.Code
-	if st.Code != trace.OK {
-		sr.resp.Message = st.Message
-	}
-	select {
-	case call.conn.sendQ <- sr:
-	case <-call.conn.closed:
-	}
-}
-
-// ServerStream is the client's view of a server-streaming call.
-type ServerStream struct {
-	c        *Channel
+// Stream is one end of a bidirectional message stream multiplexed over a
+// connection. Send and CloseSend may run concurrently with Recv, but each
+// of the two directions expects a single goroutine.
+//
+// Recv returns a pooled buffer that stays valid until the next Recv or
+// Close — the zero-copy window of the extended buffer-ownership contract
+// (DESIGN.md §12); callers that retain a message must copy it.
+type Stream struct {
+	tr       *transport
 	streamID uint64
+	maxWin   int64
 
-	items  chan *response // delivered by the channel's read loop
-	doneCh chan struct{}  // closed on failure, Close, or final status
-	once   sync.Once
+	c  *Channel    // client end; nil on the server
+	sc *serverConn // server end; nil on the client
 
-	mu     sync.Mutex
-	err    error // terminal error; nil + closed doneCh = clean EOF
-	cancel func()
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// sendWin is the credit this end may spend; the peer grants it back
+	// as its application consumes messages.
+	sendWin *creditWindow
+
+	sendMu     sync.Mutex
+	sendClosed bool
+
+	// Inbound side. The connection's read loop appends assembled messages
+	// to inq and never blocks on a slow consumer — queued bytes are
+	// bounded by the credit window, which is only replenished on Recv.
+	recvMu    sync.Mutex
+	inq       []inboundMsg
+	inqHead   int
+	term      error // terminal status; nil with termSet means clean EOF
+	termSet   bool
+	dead      bool   // fully torn down: late deliveries are dropped
+	asm       []byte // partial-message assembly (pooled)
+	asmStatus bool   // the message being assembled is a status envelope
+
+	notify chan struct{} // capacity 1: wake for Recv
+
+	// cur is the pooled buffer handed out by the last Recv; released on
+	// the next Recv or Close by the receiving goroutine itself, so a
+	// remote teardown can never recycle bytes the application still reads.
+	cur []byte
+
+	// grantBuf is scratch for WINDOW_UPDATE payloads (receiver goroutine).
+	grantBuf [16]byte
+
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
-// CallStream starts a server-streaming RPC. Read messages with Recv until
-// io.EOF (clean end) or an error; call Close to abandon early.
-func (c *Channel) CallStream(ctx context.Context, method string, payload []byte) (*ServerStream, error) {
+// inboundMsg is one fully assembled inbound message and the credit its
+// sender spent on it.
+type inboundMsg struct {
+	data   []byte
+	charge int64
+}
+
+func newStream(tr *transport, streamID uint64, maxWin int64) *Stream {
+	return &Stream{
+		tr:       tr,
+		streamID: streamID,
+		maxWin:   maxWin,
+		sendWin:  newCreditWindow(maxWin),
+		notify:   make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+}
+
+// msgCharge is the credit one message costs: its payload bytes, minimum 1
+// so empty messages cannot bypass flow control.
+func msgCharge(n int) int64 {
+	if n == 0 {
+		return 1
+	}
+	return int64(n)
+}
+
+// OpenStream starts a bidirectional stream. Messages flow with Send and
+// Recv; CloseSend half-closes the sending direction (the server's Recv
+// then returns io.EOF); Close abandons the stream, resetting it on the
+// server. The stream ends when Recv returns io.EOF (clean final status)
+// or an error.
+func (c *Channel) OpenStream(ctx context.Context, method string, opts ...CallOption) (*Stream, error) {
+	co := resolveCallOpts(ctx, opts)
+	win := int64(c.opts.StreamWindow)
+	if co.window > 0 {
+		win = int64(co.window)
+	}
+
 	parent, ok := TraceFromContext(ctx)
 	tc := TraceContext{SpanID: nextSpanID()}
 	if ok {
@@ -149,162 +136,476 @@ func (c *Channel) CallStream(ctx context.Context, method string, payload []byte)
 		TraceID:  tc.TraceID,
 		SpanID:   tc.SpanID,
 		Deadline: deadline,
-		Payload:  payload,
+		Window:   uint32(win),
 	}
-	buf := appendRequest(wire.GetBuf(len(payload)+len(method)+envelopeOverhead), req)
-	if len(buf)+secure.Overhead > wire.MaxFrameSize {
-		wire.PutBuf(buf)
-		return nil, Errorf(trace.InvalidArgument, "request exceeds max frame size")
-	}
+	env := appendRequest(wire.GetBuf(len(method)+envelopeOverhead), req)
 
 	streamID := c.nextStream.Add(1)
-	st := &ServerStream{
-		c:        c,
-		streamID: streamID,
-		items:    make(chan *response, 16),
-		doneCh:   make(chan struct{}),
-	}
-	streamCtx, cancel := context.WithCancel(ctx)
-	st.cancel = cancel
+	st := newStream(c.tr, streamID, win)
+	st.c = c
+	st.ctx, st.cancel = context.WithCancel(ctx)
 
 	c.mu.Lock()
 	select {
 	case <-c.closed:
 		c.mu.Unlock()
-		cancel()
+		st.cancel()
+		wire.PutBuf(env)
 		return nil, ErrUnavailable
 	default:
 	}
 	if c.streams == nil {
-		c.streams = make(map[uint64]*ServerStream)
+		c.streams = make(map[uint64]*Stream)
 	}
 	c.streams[streamID] = st
 	c.mu.Unlock()
 
-	// Streams bypass the unary send queue: the request goes out
+	// Streams bypass the unary send queue: the open frame goes out
 	// immediately (stream setup is not part of the unary queue study).
-	err := c.tr.send(wire.FrameRequest, streamID, buf)
-	wire.PutBuf(buf)
+	err := c.tr.send(wire.FrameStreamOpen, streamID, env)
+	wire.PutBuf(env)
 	if err != nil {
 		c.dropStream(streamID)
-		cancel()
+		st.cancel()
 		return nil, ErrUnavailable
 	}
 
-	// Relay caller cancellation to the server.
+	// Relay caller cancellation to the server as a reset.
 	go func() {
 		select {
-		case <-streamCtx.Done():
-			select {
-			case <-st.doneCh: // already finished; nothing to cancel
-			default:
-				_ = c.tr.send(wire.FrameCancel, streamID, nil)
-			}
-		case <-st.doneCh:
+		case <-st.ctx.Done():
+			st.terminate(codeToError(cancelCode(st.ctx)), true)
+		case <-st.done:
 		}
 	}()
 	return st, nil
 }
 
-// deliver routes one response frame into the stream (read loop only).
-// A stream that is done discards late frames.
-func (st *ServerStream) deliver(resp *response) {
+// Send transmits one message. It blocks while the peer's credit window is
+// exhausted (the slow-reader backpressure of DESIGN.md §12) and fails if
+// the stream or its context ends first. A message larger than the stream
+// window cannot be sent; raise it with WithStreamWindow.
+func (s *Stream) Send(msg []byte) error {
+	charge := msgCharge(len(msg))
+	if charge > s.maxWin {
+		return Errorf(trace.InvalidArgument,
+			"stream message of %d bytes exceeds the %d-byte stream window", len(msg), s.maxWin)
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.sendClosed {
+		return Errorf(trace.InvalidArgument, "send on closed stream")
+	}
+	if err := s.sendWin.take(charge, s.ctx); err != nil {
+		return err
+	}
+	if err := s.tr.sendChunks(s.streamID, msg, 0); err != nil {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// CloseSend half-closes the stream: the peer's Recv returns io.EOF once
+// it drains the messages already sent. Receiving continues normally.
+func (s *Stream) CloseSend() error {
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	if s.sendClosed {
+		return nil
+	}
+	s.sendClosed = true
 	select {
-	case st.items <- resp:
-	case <-st.doneCh:
+	case <-s.done:
+		return nil // already torn down; the peer is gone
+	default:
+	}
+	if err := s.tr.sendHalfClose(s.streamID); err != nil {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// Recv returns the next inbound message, blocking until one arrives or
+// the stream ends: io.EOF after a clean end (final OK status, or the
+// peer's half-close on the server side), the terminal error otherwise.
+// Messages already received are drained before the terminal state is
+// reported. The returned slice is only valid until the next Recv or
+// Close.
+func (s *Stream) Recv() ([]byte, error) {
+	if s.cur != nil {
+		wire.PutBuf(s.cur)
+		s.cur = nil
+	}
+	for {
+		s.recvMu.Lock()
+		if s.inqHead < len(s.inq) {
+			m := s.inq[s.inqHead]
+			s.inq[s.inqHead] = inboundMsg{}
+			s.inqHead++
+			if s.inqHead == len(s.inq) {
+				s.inq, s.inqHead = s.inq[:0], 0
+			}
+			s.recvMu.Unlock()
+			s.cur = m.data
+			// The application consumed the message: grant its charge back
+			// so the sender can proceed.
+			s.sendGrant(m.charge)
+			return m.data, nil
+		}
+		if s.termSet {
+			term := s.term
+			s.recvMu.Unlock()
+			if term == nil {
+				return nil, io.EOF
+			}
+			return nil, term
+		}
+		ch := s.notify
+		s.recvMu.Unlock()
+		<-ch
 	}
 }
 
-// fail terminates the stream; nil err means clean EOF. It reports
-// whether this call was the one that terminated it.
-func (st *ServerStream) fail(err error) bool {
-	st.mu.Lock()
-	if st.err == nil {
-		st.err = err
+// sendGrant emits a WINDOW_UPDATE for n consumed credits.
+func (s *Stream) sendGrant(n int64) {
+	buf := wire.AppendUvarint(s.grantBuf[:0], uint64(n))
+	_ = s.tr.send(wire.FrameWindowUpdate, s.streamID, buf)
+}
+
+// Close abandons the stream. If it is still live, the peer receives a
+// reset: on the server that promptly cancels the handler's context and
+// fails its blocked Sends. Close releases every pooled buffer this end
+// holds, including the one handed out by the last Recv.
+func (s *Stream) Close() error {
+	s.terminate(ErrCancelled, true)
+	if s.cur != nil {
+		wire.PutBuf(s.cur)
+		s.cur = nil
 	}
-	st.mu.Unlock()
-	first := false
-	st.once.Do(func() {
-		close(st.doneCh)
-		first = true
+	return nil
+}
+
+// Context returns the stream's context: the OpenStream context on the
+// client, the handler context on the server.
+func (s *Stream) Context() context.Context { return s.ctx }
+
+// terminate tears the stream down once: records the terminal state for
+// Recv (keeping an earlier one), kills the send window, cancels the
+// context, returns pooled buffers, detaches from the owner's stream
+// table, and — when notifyPeer is set and the stream is still live —
+// sends a reset frame.
+func (s *Stream) terminate(err error, notifyPeer bool) {
+	s.doneOnce.Do(func() {
+		close(s.done)
+		s.recvMu.Lock()
+		if !s.termSet {
+			s.termSet, s.term = true, err
+		}
+		s.dead = true
+		for i := s.inqHead; i < len(s.inq); i++ {
+			wire.PutBuf(s.inq[i].data)
+			s.inq[i] = inboundMsg{}
+		}
+		s.inq, s.inqHead = nil, 0
+		if s.asm != nil {
+			wire.PutBuf(s.asm)
+			s.asm = nil
+		}
+		// cancel is read under recvMu: on the server it is installed by a
+		// worker (handleBidi) that may race a reset from the read loop.
+		cancel := s.cancel
+		s.recvMu.Unlock()
+		s.sendWin.kill(err)
+		if cancel != nil {
+			cancel()
+		}
+		if notifyPeer {
+			_ = s.tr.sendReset(s.streamID, StatusFromError(err))
+		}
+		if s.c != nil {
+			s.c.dropStream(s.streamID)
+		}
+		if s.sc != nil {
+			s.sc.dropStream(s.streamID)
+		}
+		select {
+		case s.notify <- struct{}{}:
+		default:
+		}
 	})
-	return first
+}
+
+// finished reports whether the stream has been torn down.
+func (s *Stream) finished() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// deliverChunk routes one inbound chunk into the stream. Only the
+// connection's read loop calls it; ownership of data (a pooled buffer)
+// transfers here. It never blocks: completed messages queue on inq and
+// the credit window bounds how far a slow consumer can fall behind, so a
+// stalled stream cannot head-of-line-block the connection.
+func (s *Stream) deliverChunk(flags byte, data []byte) {
+	s.recvMu.Lock()
+	if s.dead {
+		s.recvMu.Unlock()
+		wire.PutBuf(data)
+		return
+	}
+	var msg []byte
+	haveMsg := false
+	switch {
+	case s.asm == nil && flags&chunkEndMsg != 0:
+		// Single-chunk message: hand the pooled buffer through untouched.
+		msg, haveMsg = data, true
+	case s.asm == nil && len(data) == 0:
+		// Bare control chunk (half-close marker): no message payload.
+		wire.PutBuf(data)
+	default:
+		if s.asm == nil {
+			s.asm = wire.GetBuf(2 * len(data))
+		}
+		s.asm = append(s.asm, data...)
+		wire.PutBuf(data)
+		if flags&chunkEndMsg != 0 {
+			msg, haveMsg = s.asm, true
+			s.asm = nil
+		}
+	}
+	if flags&chunkStatus != 0 {
+		s.asmStatus = true
+	}
+	if haveMsg {
+		if s.asmStatus {
+			s.asmStatus = false
+			s.applyStatusLocked(msg)
+			wire.PutBuf(msg)
+		} else {
+			s.inq = append(s.inq, inboundMsg{data: msg, charge: msgCharge(len(msg))})
+		}
+	}
+	if flags&chunkEndStream != 0 && !s.termSet {
+		s.termSet = true // term stays nil: clean end of direction
+	}
+	s.recvMu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// applyStatusLocked records the final status carried in a status chunk.
+// Caller holds recvMu.
+func (s *Stream) applyStatusLocked(env []byte) {
+	var resp response
+	var term error
+	if perr := parseResponseInto(&resp, env); perr != nil {
+		term = Errorf(trace.Internal, "stream status: %v", perr)
+	} else if resp.Code != trace.OK {
+		term = &Status{Code: resp.Code, Message: resp.Message}
+	}
+	if !s.termSet {
+		s.termSet, s.term = true, term
+	}
+}
+
+// grantFromPeer applies an inbound WINDOW_UPDATE.
+func (s *Stream) grantFromPeer(plain []byte) {
+	if n, k := wire.Uvarint(plain); k > 0 && n > 0 {
+		s.sendWin.grant(int64(n))
+	}
+}
+
+// resetFromPeer applies an inbound reset frame: code then message text.
+func (s *Stream) resetFromPeer(plain []byte) {
+	st := &Status{Code: trace.Cancelled, Message: "stream reset by peer"}
+	if code, n := wire.Uvarint(plain); n > 0 {
+		st = &Status{Code: trace.ErrorCode(code), Message: string(plain[n:])}
+	}
+	s.terminate(st, false)
+}
+
+// --- Server side ---
+
+// RegisterBidi installs a bidirectional streaming handler. Unary and
+// streaming methods share one namespace.
+func (s *Server) RegisterBidi(method string, h BidiHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("stubby: duplicate handler for %q", method))
+	}
+	if _, dup := s.bidiHandlers[method]; dup {
+		panic(fmt.Sprintf("stubby: duplicate stream handler for %q", method))
+	}
+	s.bidiHandlers[method] = h
+	s.methodNames[method] = method
+}
+
+// handleBidi runs on a worker for a queued stream-open: it decodes the
+// envelope, configures the stream's flow control and deadline, and hands
+// the handler its own goroutine — a blocked stream Send must not pin a
+// worker the unary traffic needs.
+func (s *Server) handleBidi(call *serverCall) {
+	st := call.stream
+	req := &call.req
+	s.mu.RLock()
+	err := parseRequestInto(req, call.raw, s.intern)
+	var bh BidiHandler
+	if err == nil {
+		bh = s.bidiHandlers[req.Method]
+	}
+	s.mu.RUnlock()
+	// The open envelope carries no payload, so nothing aliases it past
+	// the parse.
+	wire.PutBuf(call.raw)
+	call.raw = nil
+	if err != nil {
+		st.terminate(Errorf(trace.Internal, "stream open: %v", err), true)
+		return
+	}
+
+	win := int64(req.Window)
+	if win <= 0 {
+		win = defaultStreamWindow
+	}
+	st.maxWin = win
+	// The stream was registered with a zero send window before the
+	// envelope was decoded; install the client's declared window now.
+	st.sendWin.grant(win)
+
+	ctx := ContextWithTrace(context.Background(), TraceContext{
+		TraceID: req.TraceID,
+		SpanID:  req.SpanID,
+	})
+	// Install the handler context under recvMu so a concurrent terminate
+	// (reset racing the open decode) observes it; if the stream already
+	// died, cancel here since terminate could not.
+	st.recvMu.Lock()
+	if req.Deadline > 0 {
+		st.ctx, st.cancel = context.WithTimeout(ctx, req.Deadline)
+	} else {
+		st.ctx, st.cancel = context.WithCancel(ctx)
+	}
+	cancel, dead := st.cancel, st.dead
+	st.recvMu.Unlock()
+	if dead {
+		cancel()
+		return
+	}
+
+	if bh == nil {
+		s.finishBidi(st, Errorf(trace.EntityNotFound, "no stream handler for method %q", req.Method))
+		return
+	}
+	go s.runBidi(st, bh)
+}
+
+// runBidi hosts one stream handler on its own goroutine.
+func (s *Server) runBidi(st *Stream, h BidiHandler) {
+	herr := h(st.ctx, st)
+	if herr == nil && st.ctx.Err() != nil {
+		herr = ctxErrToStatus(st.ctx.Err())
+	}
+	s.finishBidi(st, herr)
+}
+
+// finishBidi sends the final status chunk (unless the stream already died
+// to a reset or connection failure) and tears down the server-side state,
+// returning every pooled buffer the stream still holds.
+func (s *Server) finishBidi(st *Stream, herr error) {
+	if !st.finished() {
+		stat := StatusFromError(herr)
+		resp := response{Code: stat.Code}
+		if stat.Code != trace.OK {
+			resp.Message = stat.Message
+		}
+		env := appendResponse(wire.GetBuf(len(resp.Message)+envelopeOverhead), &resp)
+		// The status chunk is exempt from flow control, like HTTP/2
+		// headers: it must reach a client that has stopped consuming.
+		_ = st.tr.sendChunks(st.streamID, env, chunkStatus|chunkEndStream)
+		wire.PutBuf(env)
+	}
+	st.terminate(StatusFromError(herr), false)
+	if st.cur != nil {
+		wire.PutBuf(st.cur)
+		st.cur = nil
+	}
+}
+
+// --- Deprecated server-streaming shims ---
+
+// StreamHandler serves a server-streaming method: it sends zero or more
+// messages via send and returns the final status.
+//
+// Deprecated: register a BidiHandler with RegisterBidi; it exposes the
+// stream itself.
+type StreamHandler func(ctx context.Context, payload []byte, send func([]byte) error) error
+
+// RegisterStream installs a server-streaming handler.
+//
+// Deprecated: use RegisterBidi. RegisterStream adapts h onto the bulk
+// lane: the request payload arrives as the stream's first message.
+func (s *Server) RegisterStream(method string, h StreamHandler) {
+	s.RegisterBidi(method, func(ctx context.Context, st *Stream) error {
+		payload, err := st.Recv()
+		if err == io.EOF {
+			payload = nil
+		} else if err != nil {
+			return err
+		}
+		// The handler never Recvs again, so payload (the stream's pooled
+		// current buffer) stays valid for its whole lifetime.
+		return h(ctx, payload, st.Send)
+	})
+}
+
+// ServerStream is the client's view of a server-streaming call.
+//
+// Deprecated: use Stream via Channel.OpenStream.
+type ServerStream struct {
+	st *Stream
+}
+
+// CallStream starts a server-streaming RPC: the payload goes out as the
+// single request message and the send direction half-closes. Read
+// messages with Recv until io.EOF (clean end) or an error; call Close to
+// abandon early.
+//
+// Deprecated: use OpenStream, which exposes the symmetric Stream.
+func (c *Channel) CallStream(ctx context.Context, method string, payload []byte) (*ServerStream, error) {
+	st, err := c.OpenStream(ctx, method)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Send(payload); err != nil {
+		_ = st.Close()
+		return nil, err
+	}
+	if err := st.CloseSend(); err != nil {
+		_ = st.Close()
+		return nil, err
+	}
+	return &ServerStream{st: st}, nil
 }
 
 // Recv returns the next message. It returns io.EOF after the final status
-// of a clean stream, or the terminal error otherwise. Buffered messages
-// are drained before the terminal state is reported.
-func (st *ServerStream) Recv() ([]byte, error) {
-	select {
-	case resp := <-st.items:
-		return st.consume(resp)
-	default:
+// of a clean stream, or the terminal error otherwise. The returned slice
+// is the caller's to keep (unlike Stream.Recv, which reuses its buffer).
+func (ss *ServerStream) Recv() ([]byte, error) {
+	msg, err := ss.st.Recv()
+	if err != nil {
+		return nil, err
 	}
-	select {
-	case resp := <-st.items:
-		return st.consume(resp)
-	case <-st.doneCh:
-		return nil, st.terminal()
-	}
-}
-
-func (st *ServerStream) terminal() error {
-	st.mu.Lock()
-	err := st.err
-	st.mu.Unlock()
-	if err == nil {
-		return io.EOF
-	}
-	return err
-}
-
-func (st *ServerStream) consume(resp *response) ([]byte, error) {
-	if resp.More {
-		out := resp.Payload
-		if resp.Compressed {
-			var derr error
-			out, derr = st.c.comp.Decompress(out)
-			if derr != nil {
-				st.Close()
-				return nil, Errorf(trace.Internal, "decompress: %v", derr)
-			}
-		}
-		return out, nil
-	}
-	// Final status message.
-	st.c.dropStream(st.streamID)
-	var err error
-	if resp.Code != trace.OK {
-		err = &Status{Code: resp.Code, Message: resp.Message}
-	}
-	st.fail(err)
-	return nil, st.terminal()
+	return append([]byte(nil), msg...), nil
 }
 
 // Close abandons the stream: the server's handler context is cancelled
-// and further Recv calls return Cancelled (or the clean terminal state if
-// the stream had already finished).
-func (st *ServerStream) Close() {
-	st.c.dropStream(st.streamID)
-	if st.fail(ErrCancelled) {
-		// We terminated a live stream: tell the server to stop.
-		_ = st.c.tr.send(wire.FrameCancel, st.streamID, nil)
-	}
-	if st.cancel != nil {
-		st.cancel()
-	}
-}
-
-// dropStream unregisters a stream ID.
-func (c *Channel) dropStream(streamID uint64) {
-	c.mu.Lock()
-	delete(c.streams, streamID)
-	c.mu.Unlock()
-}
-
-// lookupStream finds a live stream.
-func (c *Channel) lookupStream(streamID uint64) *ServerStream {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.streams[streamID]
-}
+// via a reset frame and further Recv calls return Cancelled (or the
+// terminal state if the stream had already finished).
+func (ss *ServerStream) Close() { _ = ss.st.Close() }

@@ -23,17 +23,44 @@ import (
 // callers (the client sendLoop and server writeLoop) hold the lock across
 // several appendLocked calls and a single flushLocked; one-shot callers
 // use send.
+//
+// Bulk-lane chunk frames take the scatter-gather path instead: the chunk
+// is sealed straight from the caller's buffer into a pooled buffer —
+// exactly one cipher pass over the payload — and queued by reference on
+// the wire.Writer, whose Flush hands the kernel a writev iovec list. The
+// pooled chunk buffers come back through the writer's flush hook.
 type transport struct {
 	conn net.Conn
 
 	sendMu  sync.Mutex
 	sendKey *secure.Session
 	writer  *wire.Writer
+	// aad is scratch for the chunk flags byte sealed as additional
+	// authenticated data; sendMu serializes access.
+	aad [1]byte
 
 	recvMu  sync.Mutex
 	recvKey *secure.Session
 	reader  *wire.Reader
 }
+
+// Chunk flags: the single clear-text byte leading every FrameStreamChunk
+// payload, authenticated as AAD so it cannot be flipped in flight.
+const (
+	// chunkEndMsg marks the final chunk of one application message.
+	chunkEndMsg = 0x01
+	// chunkEndStream marks the sender's half-close: no further chunks
+	// follow in this direction.
+	chunkEndStream = 0x02
+	// chunkStatus marks a chunk whose plaintext is a response envelope
+	// carrying the stream's final status rather than application data.
+	chunkStatus = 0x04
+)
+
+// bulkChunkSize is the chunking granularity of the bulk lane. 64 KiB
+// amortizes per-chunk seal and frame overhead to well under 1% while
+// keeping per-chunk pool buffers within the pool's size classes.
+const bulkChunkSize = 64 << 10
 
 // newTransport builds a transport over conn. dirSend/dirRecv label the key
 // derivation directions and must be mirrored on the peer.
@@ -46,10 +73,19 @@ func newTransport(conn net.Conn, psk []byte, dirSend, dirRecv string, stats *sec
 	if err != nil {
 		return nil, fmt.Errorf("stubby: recv session: %w", err)
 	}
+	w := wire.NewWriter(conn)
+	// Chunk buffers queued by reference are released once the kernel has
+	// consumed them (per the DESIGN.md §11 ownership contract, the writer
+	// holds them between append and flush).
+	w.SetFlushHook(func(segs [][]byte) {
+		for _, s := range segs {
+			wire.PutBuf(s)
+		}
+	})
 	return &transport{
 		conn:    conn,
 		sendKey: sendSess,
-		writer:  wire.NewWriter(conn),
+		writer:  w,
 		recvKey: recvSess,
 		reader:  wire.NewReader(conn),
 	}, nil
@@ -71,9 +107,49 @@ func (t *transport) appendLocked(frameType byte, streamID uint64, payload []byte
 	return t.writer.EndFrame(buf)
 }
 
-// flushLocked writes every appended frame with a single Write. Caller
-// must hold the send lock: sendMu exists to serialize frame writes on the
-// shared conn, and holding it across the flush is the point.
+// appendChunkLocked seals one bulk-lane chunk and queues it by reference:
+// flags travel in the clear as the first payload byte, authenticated as
+// AAD; data is ciphered straight from the caller's buffer into a pooled
+// buffer that the writer returns to the pool after its flush. Caller must
+// hold the send lock and must not modify data until flushLocked returns.
+func (t *transport) appendChunkLocked(streamID uint64, flags byte, data []byte) error {
+	buf := wire.GetBuf(1 + len(data) + secure.Overhead)
+	buf = append(buf, flags)
+	t.aad[0] = flags
+	buf = t.sendKey.SealAppendAAD(buf, data, t.aad[:])
+	if err := t.writer.AppendFrameVec(wire.FrameStreamChunk, streamID, buf); err != nil {
+		wire.PutBuf(buf)
+		return err
+	}
+	return nil
+}
+
+// appendChunkedLocked splits data into bulk chunks and queues them all,
+// marking the last with endFlags in addition to chunkEndMsg. Caller must
+// hold the send lock. An empty data still produces one (empty) chunk so
+// the message boundary reaches the peer.
+func (t *transport) appendChunkedLocked(streamID uint64, data []byte, endFlags byte) error {
+	for off := 0; ; {
+		end := off + bulkChunkSize
+		var flags byte
+		if end >= len(data) {
+			end = len(data)
+			flags = chunkEndMsg | endFlags
+		}
+		if err := t.appendChunkLocked(streamID, flags, data[off:end]); err != nil {
+			return err
+		}
+		if end == len(data) {
+			return nil
+		}
+		off = end
+	}
+}
+
+// flushLocked writes every appended frame with a single (possibly
+// vectored) write. Caller must hold the send lock: sendMu exists to
+// serialize frame writes on the shared conn, and holding it across the
+// flush is the point.
 func (t *transport) flushLocked() error {
 	return t.writer.Flush()
 }
@@ -89,25 +165,78 @@ func (t *transport) send(frameType byte, streamID uint64, payload []byte) error 
 	return t.flushLocked()
 }
 
+// sendChunks seals data as one stream message (one or more chunk frames,
+// the last carrying chunkEndMsg|endFlags) and flushes with one vectored
+// write. Safe for concurrent use.
+func (t *transport) sendChunks(streamID uint64, data []byte, endFlags byte) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if err := t.appendChunkedLocked(streamID, data, endFlags); err != nil {
+		return err
+	}
+	return t.flushLocked()
+}
+
+// sendHalfClose emits the bare end-of-direction marker (no message).
+func (t *transport) sendHalfClose(streamID uint64) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if err := t.appendChunkLocked(streamID, chunkEndStream, nil); err != nil {
+		return err
+	}
+	return t.flushLocked()
+}
+
+// sendReset aborts a stream in both directions: the payload is the sealed
+// error code followed by the message text.
+func (t *transport) sendReset(streamID uint64, st *Status) error {
+	buf := wire.GetBuf(len(st.Message) + 16)
+	buf = wire.AppendUvarint(buf, uint64(st.Code))
+	buf = append(buf, st.Message...)
+	err := t.send(wire.FrameReset, streamID, buf)
+	wire.PutBuf(buf)
+	return err
+}
+
+// recvMsg is one decoded inbound frame: the frame metadata plus the
+// decrypted payload in a pooled buffer whose ownership transfers to the
+// caller (release with wire.PutBuf; see DESIGN.md §11). For chunk frames,
+// flags holds the authenticated clear-text flags byte.
+type recvMsg struct {
+	typ      byte
+	streamID uint64
+	flags    byte
+	plain    []byte
+}
+
 // recv reads and decrypts the next frame. Only one goroutine may call
-// recv. The returned plaintext sits in a buffer from the wire buffer
-// pool: ownership transfers to the caller, who must release it with
-// wire.PutBuf once nothing references the bytes (see DESIGN.md §11).
-func (t *transport) recv() (*wire.Frame, []byte, error) {
+// recv.
+func (t *transport) recv() (recvMsg, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
 	//rpclint:ignore lockheld recvMu serializes reads of the shared frame reader; holding it across the read is the point
 	f, err := t.reader.ReadFrame()
 	if err != nil {
-		return nil, nil, err
+		return recvMsg{}, err
 	}
-	buf := wire.GetBuf(len(f.Payload))
-	plain, err := t.recvKey.OpenAppend(buf, f.Payload)
+	m := recvMsg{typ: f.Type, streamID: f.StreamID}
+	sealed := f.Payload
+	var aad []byte
+	if f.Type == wire.FrameStreamChunk {
+		if len(sealed) < 1 {
+			return recvMsg{}, secure.ErrDecrypt
+		}
+		m.flags = sealed[0]
+		aad, sealed = f.Payload[:1], sealed[1:]
+	}
+	buf := wire.GetBuf(len(sealed))
+	plain, err := t.recvKey.OpenAppendAAD(buf, sealed, aad)
 	if err != nil {
 		wire.PutBuf(buf)
-		return nil, nil, err
+		return recvMsg{}, err
 	}
-	return f, plain, nil
+	m.plain = plain
+	return m, nil
 }
 
 // close tears down the underlying connection.

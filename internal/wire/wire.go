@@ -10,10 +10,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Frame type tags carried in the frame header. The RPC stack multiplexes
-// requests, responses, cancellations, and health pings over one connection.
+// requests, responses, cancellations, and health pings over one
+// connection; the bulk lane adds stream-open, chunk, and flow-control
+// frames so many concurrent streams share the connection without
+// head-of-line blocking at the framing layer.
 const (
 	FrameRequest  = 0x01
 	FrameResponse = 0x02
@@ -21,7 +25,34 @@ const (
 	FramePing     = 0x04
 	FramePong     = 0x05
 	FrameGoAway   = 0x06
+
+	// Bulk-lane frames (see DESIGN.md §12).
+
+	// FrameStreamOpen opens a bidirectional stream; the payload is a
+	// sealed request envelope carrying the method and the initial
+	// per-direction credit window.
+	FrameStreamOpen = 0x07
+	// FrameStreamChunk carries one chunk of stream or bulk payload. The
+	// first payload byte is a clear-text flags byte (authenticated as
+	// AAD); the rest is the sealed chunk data.
+	FrameStreamChunk = 0x08
+	// FrameWindowUpdate grants the peer additional send credit on one
+	// stream: the payload is a sealed uvarint byte delta (the HTTP/2
+	// WINDOW_UPDATE equivalent).
+	FrameWindowUpdate = 0x09
+	// FrameReset aborts one stream in both directions: the payload is a
+	// sealed uvarint error code. Unlike FrameCancel it tears down stream
+	// state (credit waiters, assembly buffers) promptly on both ends.
+	FrameReset = 0x0A
+	// FrameBulkRequest / FrameBulkResponse are unary envelopes whose
+	// payload travels separately in FrameStreamChunk frames on the same
+	// stream ID — the transparent bulk routing of large unary calls.
+	FrameBulkRequest  = 0x0B
+	FrameBulkResponse = 0x0C
 )
+
+// maxFrameType is the highest assigned frame type tag.
+const maxFrameType = FrameBulkResponse
 
 // MaxFrameSize bounds a single frame. The paper's P99 response is 563 KB
 // with a heavy tail beyond; 64 MB comfortably covers the tail while still
@@ -75,11 +106,13 @@ func WriteFrame(w io.Writer, f *Frame) error {
 	return err
 }
 
-// readBufSize is the Reader's read-ahead window. 32 KB covers the vast
+// readBufSize is the Reader's read-ahead window. 128 KB covers the vast
 // majority of frames (the fleet's P99 request is ~18 KB, Fig. 6) so a
 // steady stream of small frames costs one read syscall per window, not
-// one per header byte.
-const readBufSize = 32 << 10
+// one per header byte — and a pipelined run of bulk-lane chunks (64 KB
+// ciphertext each, DESIGN.md §12) drains at one or two chunks per
+// syscall instead of paying a read per chunk.
+const readBufSize = 128 << 10
 
 // maxRetainedScratch clamps the payload scratch buffer a Reader keeps
 // between frames. One oversized frame must not pin its buffer for the
@@ -172,7 +205,7 @@ func (fr *Reader) ReadFrame() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if t < FrameRequest || t > FrameGoAway {
+	if t < FrameRequest || t > maxFrameType {
 		return nil, fmt.Errorf("%w: 0x%02x", ErrBadFrameType, t)
 	}
 	stream, err := fr.readUvarint()
@@ -223,12 +256,37 @@ const maxRetainedWriteBuf = 1 << 20
 // single Write: a frame costs one syscall instead of two (header +
 // payload), and a batch of frames costs one syscall total. Not safe for
 // concurrent use; the transport serializes access under its send lock.
+//
+// Frames whose payload already lives in its own buffer (sealed chunks
+// from the bulk lane) can be queued by reference with AppendFrameVec:
+// only the header lands in the batch buffer and Flush hands the kernel a
+// scatter-gather list (net.Buffers → writev on TCP), so large payloads
+// reach the wire without a coalescing copy.
 type Writer struct {
 	w   io.Writer
 	buf []byte
 	// want is the expected buffer length after an open BeginFrame/EndFrame
 	// pair, used to verify the caller appended exactly the declared bytes.
 	want int
+
+	// segs holds by-reference payload segments queued by AppendFrameVec;
+	// seg[i].pos is the batch-buffer offset the segment is spliced after.
+	segs []vecSeg
+	// vec is the reusable scatter-gather list handed to net.Buffers.
+	vec net.Buffers
+	// onFlush, when non-nil, runs after every Flush that wrote queued
+	// segments, before the segment list is cleared. The transport uses it
+	// to return pooled chunk buffers once the kernel has consumed them.
+	onFlush func(segs [][]byte)
+	// flushSegs is the reusable slice passed to onFlush.
+	flushSegs [][]byte
+}
+
+// vecSeg records one by-reference payload: the batch-buffer length at the
+// time it was queued (the splice point) and the payload itself.
+type vecSeg struct {
+	pos     int
+	payload []byte
 }
 
 // NewWriter returns a batching frame writer over w.
@@ -271,15 +329,88 @@ func (fw *Writer) EndFrame(buf []byte) error {
 	return nil
 }
 
-// Buffered returns the number of bytes waiting to be flushed.
-func (fw *Writer) Buffered() int { return len(fw.buf) }
+// AppendFrameVec queues a frame whose payload is written by reference:
+// the header goes into the batch buffer, the payload slice is recorded
+// for Flush's scatter-gather write. The caller must keep payload
+// unmodified until Flush returns (or until onFlush hands it back).
+func (fw *Writer) AppendFrameVec(frameType byte, streamID uint64, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	fw.buf = append(fw.buf, frameType)
+	fw.buf = binary.AppendUvarint(fw.buf, streamID)
+	fw.buf = binary.AppendUvarint(fw.buf, uint64(len(payload)))
+	fw.segs = append(fw.segs, vecSeg{pos: len(fw.buf), payload: payload})
+	return nil
+}
 
-// Flush writes every buffered frame with a single Write.
+// SetFlushHook installs fn to run after each Flush that wrote
+// by-reference segments, receiving the segment payloads in queue order.
+// The transport uses it to recycle pooled chunk buffers once written.
+func (fw *Writer) SetFlushHook(fn func(segs [][]byte)) { fw.onFlush = fn }
+
+// Buffered returns the number of bytes waiting to be flushed, including
+// by-reference segments.
+func (fw *Writer) Buffered() int {
+	n := len(fw.buf)
+	for _, s := range fw.segs {
+		n += len(s.payload)
+	}
+	return n
+}
+
+// Flush writes every buffered frame. With no by-reference segments this
+// is a single Write; with segments it builds a scatter-gather list
+// interleaving batch-buffer regions and segment payloads and hands it to
+// net.Buffers.WriteTo — writev on TCP connections, so segment bytes go
+// to the kernel straight from their own buffers.
 func (fw *Writer) Flush() error {
-	if len(fw.buf) == 0 {
+	if len(fw.buf) == 0 && len(fw.segs) == 0 {
 		return nil
 	}
-	_, err := fw.w.Write(fw.buf)
+	var err error
+	if len(fw.segs) == 0 {
+		_, err = fw.w.Write(fw.buf)
+	} else {
+		vec := fw.vec[:0]
+		prev := 0
+		for _, s := range fw.segs {
+			if s.pos > prev {
+				vec = append(vec, fw.buf[prev:s.pos])
+			}
+			prev = s.pos
+			if len(s.payload) > 0 {
+				vec = append(vec, s.payload)
+			}
+		}
+		if prev < len(fw.buf) {
+			vec = append(vec, fw.buf[prev:])
+		}
+		// WriteTo takes a pointer receiver and consumes the header it is
+		// given; calling it on the (heap-resident) field instead of the
+		// local keeps the slice header from escaping per flush. The local
+		// still holds the full header over the same backing array, so the
+		// cleanup below restores and clears it.
+		fw.vec = vec
+		_, err = fw.vec.WriteTo(fw.w)
+		fw.vec = vec
+		for i := range fw.vec {
+			fw.vec[i] = nil
+		}
+		fw.vec = fw.vec[:0]
+		if fw.onFlush != nil {
+			out := fw.flushSegs[:0]
+			for _, s := range fw.segs {
+				out = append(out, s.payload)
+			}
+			fw.onFlush(out)
+			fw.flushSegs = out[:0]
+		}
+		for i := range fw.segs {
+			fw.segs[i] = vecSeg{}
+		}
+		fw.segs = fw.segs[:0]
+	}
 	if cap(fw.buf) > maxRetainedWriteBuf {
 		fw.buf = make([]byte, 0, 4096)
 	} else {

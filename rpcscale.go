@@ -89,9 +89,25 @@ type (
 	StubbyOptions = stubby.Options
 	// Handler serves one RPC method on the real stack.
 	Handler = stubby.Handler
+	// Stream is one end of a bidirectional message stream (see
+	// Channel.OpenStream and Server.RegisterBidi): Send/Recv exchange
+	// messages under per-stream credit flow control on the zero-copy bulk
+	// lane; CloseSend half-closes, Close abandons.
+	Stream = stubby.Stream
+	// BidiHandler serves a bidirectional streaming method.
+	BidiHandler = stubby.BidiHandler
+	// CallOption adjusts one call or stream (WithBulkLane,
+	// WithBulkThreshold, WithStreamWindow); pass to Channel.Call or
+	// Channel.OpenStream, or thread through a context with
+	// ContextWithCallOptions.
+	CallOption = stubby.CallOption
 	// StreamHandler serves a server-streaming method.
+	//
+	// Deprecated: use BidiHandler with Server.RegisterBidi.
 	StreamHandler = stubby.StreamHandler
 	// ServerStream is the client's view of a server-streaming call.
+	//
+	// Deprecated: use Stream via Channel.OpenStream.
 	ServerStream = stubby.ServerStream
 	// Pool is a client-side channel pool with failover and cross-replica
 	// hedging.
@@ -410,6 +426,49 @@ func WithCircuitBreaker(cfg BreakerConfig) Option {
 func WithLoadShedding(threshold int) Option {
 	return func(c *stackConfig) { c.opts.ShedThreshold = threshold }
 }
+
+// WithDefaultStreamWindow sets the endpoint's default per-direction
+// stream credit window in bytes (default 256 KiB); WithStreamWindow
+// overrides per stream.
+func WithDefaultStreamWindow(n int) Option {
+	return func(c *stackConfig) { c.opts.StreamWindow = n }
+}
+
+// WithDefaultBulkThreshold routes unary payloads of at least bytes
+// through the zero-copy bulk lane (default 16 KiB); negative disables the
+// lane. WithBulkThreshold and WithBulkLane override per call.
+func WithDefaultBulkThreshold(bytes int) Option {
+	return func(c *stackConfig) { c.opts.BulkThreshold = bytes }
+}
+
+// --- Per-call options ---
+
+// WithStreamWindow sets one stream's per-direction credit window in
+// bytes. It bounds both the unconsumed bytes the peer may buffer and the
+// size of a single stream message.
+func WithStreamWindow(n int) CallOption { return stubby.WithStreamWindow(n) }
+
+// WithBulkThreshold routes one call through the bulk lane if its payload
+// is at least bytes long; negative disables the lane for the call.
+func WithBulkThreshold(bytes int) CallOption { return stubby.WithBulkThreshold(bytes) }
+
+// WithBulkLane forces the bulk lane on or off for one call regardless of
+// payload size.
+func WithBulkLane(enabled bool) CallOption { return stubby.WithBulkLane(enabled) }
+
+// ContextWithCallOptions attaches per-call options to a context, for call
+// sites that go through interceptor chains or retry wrappers rather than
+// Channel.Call's variadic form.
+func ContextWithCallOptions(ctx context.Context, opts ...CallOption) context.Context {
+	return stubby.ContextWithCallOptions(ctx, opts...)
+}
+
+// FreeResponse hands a response buffer returned by Call back to the data
+// plane's buffer pool. Bulk-lane responses arrive in a pooled buffer the
+// caller owns outright; recycling it here keeps the receive path
+// allocation-free under load. Optional — dropping the buffer is always
+// legal. The caller must not touch buf afterwards.
+func FreeResponse(buf []byte) { stubby.FreeResponse(buf) }
 
 // resolve applies the options and wires the plane in.
 func resolve(opts []Option) stackConfig {
