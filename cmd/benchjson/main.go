@@ -11,6 +11,11 @@
 // With -series the output becomes an object {"results": [...],
 // "series": {...}} where series holds the named scalar metrics the bench
 // job tracks release-over-release (bulk_16KiB_MBps, stream_allocs_per_op).
+//
+// With -cluster FILE the series additionally folds in the multi-process
+// harness's aggregate throughput and tail latency (cluster_calls_per_sec,
+// cluster_p99_ms) from an `rpccluster -json` report, so the cluster smoke
+// lands in the same BENCH_stubby.json artifact as the microbenchmarks.
 package main
 
 import (
@@ -131,7 +136,23 @@ type report struct {
 	Series  map[string]float64 `json:"series"`
 }
 
-func run(in io.Reader, out io.Writer, withSeries bool) error {
+// clusterSeries extracts the tracked scalar metrics from an
+// `rpccluster -json` report.
+func clusterSeries(r io.Reader) (map[string]float64, error) {
+	var rep struct {
+		CallsPerSec float64 `json:"calls_per_sec"`
+		P99Ms       float64 `json:"p99_ms"`
+	}
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("cluster report: %w", err)
+	}
+	return map[string]float64{
+		"cluster_calls_per_sec": rep.CallsPerSec,
+		"cluster_p99_ms":        rep.P99Ms,
+	}, nil
+}
+
+func run(in io.Reader, out io.Writer, withSeries bool, cluster io.Reader) error {
 	results, err := parseBench(in)
 	if err != nil {
 		return err
@@ -141,14 +162,25 @@ func run(in io.Reader, out io.Writer, withSeries bool) error {
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	if withSeries {
-		return enc.Encode(report{Results: results, Series: deriveSeries(results)})
+	if !withSeries {
+		return enc.Encode(results)
 	}
-	return enc.Encode(results)
+	series := deriveSeries(results)
+	if cluster != nil {
+		cs, err := clusterSeries(cluster)
+		if err != nil {
+			return err
+		}
+		for k, v := range cs {
+			series[k] = v
+		}
+	}
+	return enc.Encode(report{Results: results, Series: series})
 }
 
 func main() {
 	withSeries := flag.Bool("series", false, "emit {results, series} with the tracked scalar metrics instead of a bare array")
+	clusterFile := flag.String("cluster", "", "rpccluster -json report whose aggregate metrics join the series (implies -series)")
 	flag.Parse()
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -160,7 +192,18 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	if err := run(in, os.Stdout, *withSeries); err != nil {
+	var cluster io.Reader
+	if *clusterFile != "" {
+		f, err := os.Open(*clusterFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cluster = f
+		*withSeries = true
+	}
+	if err := run(in, os.Stdout, *withSeries, cluster); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -61,7 +61,7 @@ func TestStripProcSuffix(t *testing.T) {
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out, false); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &out, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	var decoded []Result
@@ -75,7 +75,7 @@ func TestRunEmitsValidJSON(t *testing.T) {
 
 func TestRunSeries(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out, true); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &out, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	var decoded report
@@ -93,9 +93,43 @@ func TestRunSeries(t *testing.T) {
 	}
 }
 
+func TestRunClusterSeries(t *testing.T) {
+	clusterReport := `{
+		"servers": 4, "clients": 2,
+		"policies": [{"policy": "round-robin", "calls_per_sec": 3100.0}],
+		"calls_per_sec": 2972.4,
+		"p99_ms": 4.39
+	}`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, true, strings.NewReader(clusterReport)); err != nil {
+		t.Fatal(err)
+	}
+	var decoded report
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got := decoded.Series["cluster_calls_per_sec"]; got != 2972.4 {
+		t.Fatalf("cluster_calls_per_sec = %v, want 2972.4", got)
+	}
+	if got := decoded.Series["cluster_p99_ms"]; got != 4.39 {
+		t.Fatalf("cluster_p99_ms = %v, want 4.39", got)
+	}
+	// Microbenchmark series still present alongside the cluster metrics.
+	if got := decoded.Series["bulk_16KiB_MBps"]; got != 765.56 {
+		t.Fatalf("bulk_16KiB_MBps = %v, want 765.56", got)
+	}
+}
+
+func TestRunClusterSeriesBadReport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, true, strings.NewReader("not json")); err == nil {
+		t.Fatal("malformed cluster report did not error")
+	}
+}
+
 func TestRunEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("no benchmarks here\n"), &out, false); err != nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &out, false, nil); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "[]" {

@@ -37,6 +37,7 @@ import (
 	"os/signal"
 	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"rpcscale"
@@ -152,8 +153,9 @@ func main() {
 	}
 	plane.Reset()
 
-	// Ctrl-C stops the drive loop; the report covers what ran.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C or SIGTERM (CI job cancellation) stops the drive loop and
+	// lets in-flight calls drain; the report covers what ran.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	start := time.Now()

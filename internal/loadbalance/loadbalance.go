@@ -13,75 +13,6 @@ import (
 	"rpcscale/internal/stats"
 )
 
-// Policy selects a machine for one request.
-type Policy interface {
-	// Name identifies the policy in reports.
-	Name() string
-	// Pick chooses among servers; load-aware policies may inspect queue
-	// depth and in-flight counts.
-	Pick(rng *stats.RNG, servers []*sim.Server) *sim.Server
-}
-
-// RoundRobin cycles through machines.
-type RoundRobin struct{ next int }
-
-// Name returns "round-robin".
-func (*RoundRobin) Name() string { return "round-robin" }
-
-// Pick returns the next machine in rotation.
-func (p *RoundRobin) Pick(_ *stats.RNG, servers []*sim.Server) *sim.Server {
-	s := servers[p.next%len(servers)]
-	p.next++
-	return s
-}
-
-// Random picks uniformly.
-type Random struct{}
-
-// Name returns "random".
-func (Random) Name() string { return "random" }
-
-// Pick returns a uniformly random machine.
-func (Random) Pick(rng *stats.RNG, servers []*sim.Server) *sim.Server {
-	return servers[rng.Intn(len(servers))]
-}
-
-// PowerOfTwo samples two machines and keeps the less loaded — the
-// classic low-coordination load-aware policy.
-type PowerOfTwo struct{}
-
-// Name returns "power-of-two".
-func (PowerOfTwo) Name() string { return "power-of-two" }
-
-// Pick compares two random machines by queue depth + in-flight work.
-func (PowerOfTwo) Pick(rng *stats.RNG, servers []*sim.Server) *sim.Server {
-	a := servers[rng.Intn(len(servers))]
-	b := servers[rng.Intn(len(servers))]
-	if load(a) <= load(b) {
-		return a
-	}
-	return b
-}
-
-// LeastLoaded scans all machines — an idealized omniscient balancer.
-type LeastLoaded struct{}
-
-// Name returns "least-loaded".
-func (LeastLoaded) Name() string { return "least-loaded" }
-
-// Pick returns the machine with the smallest instantaneous load.
-func (LeastLoaded) Pick(_ *stats.RNG, servers []*sim.Server) *sim.Server {
-	best := servers[0]
-	for _, s := range servers[1:] {
-		if load(s) < load(best) {
-			best = s
-		}
-	}
-	return best
-}
-
-func load(s *sim.Server) int { return s.QueueLen() + s.InFlight() }
-
 // Config sizes one load-balancing experiment (one service).
 type Config struct {
 	Clusters           int
@@ -177,12 +108,16 @@ func Run(cfg Config) Result {
 	rng := stats.NewRNG(cfg.Seed).Child("lb")
 	engine := sim.NewEngine()
 
-	// Build machines.
+	// Build machines, plus the Endpoint view the policy picks over
+	// (policies are transport-agnostic; *sim.Server implements Endpoint).
 	machines := make([][]*sim.Server, cfg.Clusters)
+	endpoints := make([][]Endpoint, cfg.Clusters)
 	for c := range machines {
 		machines[c] = make([]*sim.Server, cfg.MachinesPerCluster)
+		endpoints[c] = make([]Endpoint, cfg.MachinesPerCluster)
 		for m := range machines[c] {
 			machines[c][m] = sim.NewServer(engine, "", cfg.Capacity, sim.FIFO)
+			endpoints[c][m] = machines[c][m]
 		}
 	}
 
@@ -229,7 +164,7 @@ func Run(cfg Config) Result {
 				if cfg.KeySkew > 0 && cRng.Bool(cfg.KeySkew) {
 					target = machines[c][shardZipf.Sample(cRng)]
 				} else {
-					target = cfg.Policy.Pick(cRng, machines[c])
+					target = cfg.Policy.Pick(cRng, endpoints[c]).(*sim.Server)
 				}
 				service := time.Duration(svcDist.Sample(cRng) / meanFactor * float64(cfg.MeanService))
 				target.Submit(&sim.Job{

@@ -104,38 +104,36 @@ func TestLoadAwareBeatsRandomAtHighLoad(t *testing.T) {
 	}
 }
 
-func TestPolicies(t *testing.T) {
+func TestPoliciesOverSimServers(t *testing.T) {
 	engine := sim.NewEngine()
 	servers := []*sim.Server{
 		sim.NewServer(engine, "a", 1, sim.FIFO),
 		sim.NewServer(engine, "b", 1, sim.FIFO),
 		sim.NewServer(engine, "c", 1, sim.FIFO),
 	}
+	eps := make([]Endpoint, len(servers))
+	for i, s := range servers {
+		eps[i] = s
+	}
 	rng := stats.NewRNG(1)
 
 	rr := &RoundRobin{}
-	if rr.Pick(rng, servers) != servers[0] || rr.Pick(rng, servers) != servers[1] ||
-		rr.Pick(rng, servers) != servers[2] || rr.Pick(rng, servers) != servers[0] {
+	if rr.Pick(rng, eps) != servers[0] || rr.Pick(rng, eps) != servers[1] ||
+		rr.Pick(rng, eps) != servers[2] || rr.Pick(rng, eps) != servers[0] {
 		t.Error("round robin order wrong")
 	}
 
 	// Load one server; least-loaded must avoid it.
 	servers[0].Submit(&sim.Job{Service: time.Hour})
 	servers[0].Submit(&sim.Job{Service: time.Hour})
-	if got := (LeastLoaded{}).Pick(rng, servers); got == servers[0] {
+	if got := (LeastLoaded{}).Pick(rng, eps); got == servers[0] {
 		t.Error("least-loaded picked the busy server")
 	}
 	// Power-of-two never crashes and returns a member.
 	for i := 0; i < 100; i++ {
-		got := (PowerOfTwo{}).Pick(rng, servers)
+		got := (PowerOfTwo{}).Pick(rng, eps)
 		if got != servers[0] && got != servers[1] && got != servers[2] {
 			t.Fatal("pick outside set")
-		}
-	}
-
-	for _, p := range []Policy{&RoundRobin{}, Random{}, PowerOfTwo{}, LeastLoaded{}} {
-		if p.Name() == "" {
-			t.Error("empty policy name")
 		}
 	}
 }

@@ -1,0 +1,257 @@
+package loadbalance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"rpcscale/internal/stats"
+)
+
+// Endpoint is one balanceable backend as a policy sees it: anything that
+// can report an instantaneous load estimate. The simulator's *sim.Server
+// implements it (queue depth + in-flight jobs), and so does a live
+// stubby pool (client-side in-flight + the server-piggybacked load
+// report), which is what lets one Policy implementation balance both the
+// discrete-event experiment and real TCP traffic.
+type Endpoint interface {
+	// Load is the endpoint's instantaneous load estimate; higher is
+	// busier. Implementations must be safe for concurrent use.
+	Load() int
+}
+
+// Policy selects an endpoint for one request. Implementations must be
+// safe for concurrent Pick calls: the cluster harness shares one policy
+// across caller goroutines. The rng is owned by the calling goroutine
+// and is NOT shared — concurrency safety is the policy's own state only.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Pick chooses among endpoints; load-aware policies may inspect
+	// Load. The slice is non-empty and must not be retained.
+	Pick(rng *stats.RNG, eps []Endpoint) Endpoint
+}
+
+// RoundRobin cycles through endpoints. Safe for concurrent use.
+type RoundRobin struct{ next atomic.Uint64 }
+
+// Name returns "round-robin".
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick returns the next endpoint in rotation.
+func (p *RoundRobin) Pick(_ *stats.RNG, eps []Endpoint) Endpoint {
+	return eps[int((p.next.Add(1)-1)%uint64(len(eps)))]
+}
+
+// Random picks uniformly.
+type Random struct{}
+
+// Name returns "random".
+func (Random) Name() string { return "random" }
+
+// Pick returns a uniformly random endpoint.
+func (Random) Pick(rng *stats.RNG, eps []Endpoint) Endpoint {
+	return eps[rng.Intn(len(eps))]
+}
+
+// PowerOfTwo samples two endpoints and keeps the less loaded — the
+// classic low-coordination load-aware policy.
+type PowerOfTwo struct{}
+
+// Name returns "power-of-two".
+func (PowerOfTwo) Name() string { return "power-of-two" }
+
+// Pick compares two random endpoints by reported load.
+func (PowerOfTwo) Pick(rng *stats.RNG, eps []Endpoint) Endpoint {
+	a := eps[rng.Intn(len(eps))]
+	b := eps[rng.Intn(len(eps))]
+	if a.Load() <= b.Load() {
+		return a
+	}
+	return b
+}
+
+// LeastLoaded scans all endpoints — an idealized omniscient balancer.
+type LeastLoaded struct{}
+
+// Name returns "least-loaded".
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick returns the endpoint with the smallest instantaneous load.
+func (LeastLoaded) Pick(_ *stats.RNG, eps []Endpoint) Endpoint {
+	best := eps[0]
+	bestLoad := best.Load()
+	for _, e := range eps[1:] {
+		if l := e.Load(); l < bestLoad {
+			best, bestLoad = e, l
+		}
+	}
+	return best
+}
+
+// WeightedRoundRobin spreads picks proportionally to inverse reported
+// load — the paper's weighted-round-robin policy, where the weights come
+// from the backends' load reports rather than static capacity.
+type WeightedRoundRobin struct{}
+
+// Name returns "weighted-round-robin".
+func (WeightedRoundRobin) Name() string { return "weighted-round-robin" }
+
+// Pick samples an endpoint with probability proportional to 1/(1+load).
+func (WeightedRoundRobin) Pick(rng *stats.RNG, eps []Endpoint) Endpoint {
+	if len(eps) == 1 {
+		return eps[0]
+	}
+	var total float64
+	weights := make([]float64, len(eps))
+	for i, e := range eps {
+		w := 1.0 / float64(1+e.Load())
+		weights[i] = w
+		total += w
+	}
+	u := rng.Float64() * total
+	for i, w := range weights {
+		u -= w
+		if u <= 0 {
+			return eps[i]
+		}
+	}
+	return eps[len(eps)-1]
+}
+
+// Subset restricts a client to a deterministic slice of the backend set
+// before balancing within it — Google-style deterministic subsetting,
+// which caps per-client connection counts while keeping the aggregate
+// assignment balanced: clients in the same "round" see disjoint subsets
+// covering every backend.
+type Subset struct {
+	// ClientID distinguishes clients; clients with different IDs get
+	// different (round-wise disjoint) subsets.
+	ClientID int
+	// Size is the subset size; it is clamped to the endpoint count.
+	// Zero selects a default of 1/4 of the backends (minimum 2).
+	Size int
+	// Inner balances within the subset; nil selects round-robin.
+	Inner Policy
+
+	mu     sync.Mutex
+	n      int   // endpoint count the cached subset was computed for
+	subset []int // cached indices into the endpoint slice
+	inner  Policy
+}
+
+// Name returns "subset" qualified by the inner policy.
+func (s *Subset) Name() string {
+	inner := s.Inner
+	if inner == nil {
+		inner = &RoundRobin{}
+	}
+	return "subset/" + inner.Name()
+}
+
+// Pick balances within the client's deterministic subset.
+func (s *Subset) Pick(rng *stats.RNG, eps []Endpoint) Endpoint {
+	s.mu.Lock()
+	if s.subset == nil || s.n != len(eps) {
+		s.n = len(eps)
+		s.subset = SubsetIndices(len(eps), s.ClientID, s.size(len(eps)))
+		if s.inner == nil {
+			if s.Inner != nil {
+				s.inner = s.Inner
+			} else {
+				s.inner = &RoundRobin{}
+			}
+		}
+	}
+	subset, inner := s.subset, s.inner
+	s.mu.Unlock()
+
+	view := make([]Endpoint, len(subset))
+	for i, idx := range subset {
+		view[i] = eps[idx]
+	}
+	return inner.Pick(rng, view)
+}
+
+func (s *Subset) size(n int) int {
+	size := s.Size
+	if size <= 0 {
+		size = n / 4
+		if size < 2 {
+			size = 2
+		}
+	}
+	if size > n {
+		size = n
+	}
+	return size
+}
+
+// SubsetIndices computes the deterministic subset of size elements out of
+// n backends for one client: clients are grouped into rounds of
+// floor(n/size); within a round the backend list is shuffled by the round
+// number and partitioned, so the round's clients cover disjoint slices
+// and every backend is assigned before any is assigned twice.
+func SubsetIndices(n, clientID, size int) []int {
+	if size >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if clientID < 0 {
+		clientID = -clientID
+	}
+	subsetsPerRound := n / size
+	round := clientID / subsetsPerRound
+	subsetID := clientID % subsetsPerRound
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	rng := stats.NewRNG(uint64(round) + 0x5eed5eed)
+	for i := n - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	out := append([]int(nil), perm[subsetID*size:(subsetID+1)*size]...)
+	sort.Ints(out)
+	return out
+}
+
+// Policies returns a fresh instance of every built-in policy, in report
+// order: the five the cluster harness's Fig. 13-15 table compares.
+func Policies() []Policy {
+	return []Policy{
+		&RoundRobin{}, Random{}, WeightedRoundRobin{},
+		PowerOfTwo{}, LeastLoaded{}, &Subset{},
+	}
+}
+
+// ByName builds a fresh policy from its report name. Subsetting accepts
+// "subset" (round-robin within the subset) and takes the client ID so
+// distinct clients land on distinct subsets.
+func ByName(name string, clientID int) (Policy, error) {
+	switch strings.TrimSpace(name) {
+	case "round-robin", "rr":
+		return &RoundRobin{}, nil
+	case "random":
+		return Random{}, nil
+	case "weighted-round-robin", "wrr":
+		return WeightedRoundRobin{}, nil
+	case "power-of-two", "p2c":
+		return PowerOfTwo{}, nil
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "subset", "subset/round-robin":
+		return &Subset{ClientID: clientID}, nil
+	case "subset/power-of-two":
+		return &Subset{ClientID: clientID, Inner: PowerOfTwo{}}, nil
+	default:
+		return nil, fmt.Errorf("loadbalance: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,284 @@
+package loadbalance
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"rpcscale/internal/stats"
+)
+
+// fakeEndpoint is a trivial Endpoint with a fixed load, for policy tests
+// that don't need a simulator.
+type fakeEndpoint struct{ load int }
+
+func (f *fakeEndpoint) Load() int { return f.load }
+
+func fakeEndpoints(loads ...int) []Endpoint {
+	eps := make([]Endpoint, len(loads))
+	for i, l := range loads {
+		eps[i] = &fakeEndpoint{load: l}
+	}
+	return eps
+}
+
+// TestConcurrentPick hammers every built-in policy with concurrent Pick
+// calls. Run under -race this is the satellite guarantee that policies are
+// safe to share across the cluster harness's caller goroutines; without
+// -race it still checks every pick lands inside the endpoint set.
+func TestConcurrentPick(t *testing.T) {
+	eps := fakeEndpoints(0, 3, 1, 7, 2, 5, 4, 6)
+	inSet := make(map[Endpoint]bool, len(eps))
+	for _, e := range eps {
+		inSet[e] = true
+	}
+	for _, p := range Policies() {
+		p := p
+		t.Run(p.Name(), func(t *testing.T) {
+			t.Parallel()
+			const goroutines, picks = 8, 2000
+			var wg sync.WaitGroup
+			errs := make(chan error, goroutines)
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// Each goroutine owns its RNG; only the policy's own
+					// state is shared.
+					rng := stats.NewRNG(uint64(g) + 1)
+					for i := 0; i < picks; i++ {
+						if got := p.Pick(rng, eps); !inSet[got] {
+							select {
+							case errs <- errOutside:
+							default:
+							}
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			if err := <-errs; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+var errOutside = errorString("pick outside endpoint set")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+func TestRoundRobinRotation(t *testing.T) {
+	eps := fakeEndpoints(0, 0, 0, 0)
+	rr := &RoundRobin{}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 12; i++ {
+		if got, want := rr.Pick(rng, eps), eps[i%len(eps)]; got != want {
+			t.Fatalf("pick %d: got endpoint %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestRoundRobinConcurrentCoverage checks that concurrent round-robin
+// picks still distribute evenly: with G*K total picks over N endpoints,
+// every endpoint must receive exactly G*K/N.
+func TestRoundRobinConcurrentCoverage(t *testing.T) {
+	eps := fakeEndpoints(0, 0, 0, 0)
+	rr := &RoundRobin{}
+	const goroutines, picks = 4, 1000
+	counts := make([]map[Endpoint]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		counts[g] = make(map[Endpoint]int)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(g) + 1)
+			for i := 0; i < picks; i++ {
+				counts[g][rr.Pick(rng, eps)]++
+			}
+		}()
+	}
+	wg.Wait()
+	total := make(map[Endpoint]int)
+	for _, m := range counts {
+		for e, n := range m {
+			total[e] += n
+		}
+	}
+	want := goroutines * picks / len(eps)
+	for i, e := range eps {
+		if total[e] != want {
+			t.Errorf("endpoint %d got %d picks, want %d", i, total[e], want)
+		}
+	}
+}
+
+func TestLeastLoadedAndPowerOfTwoPreferIdle(t *testing.T) {
+	eps := fakeEndpoints(9, 9, 0, 9)
+	rng := stats.NewRNG(7)
+	if got := (LeastLoaded{}).Pick(rng, eps); got != eps[2] {
+		t.Errorf("least-loaded picked load %d", got.Load())
+	}
+	// Power-of-two must never pick a busy endpoint when the idle one is
+	// among its two samples; over many picks the idle endpoint must win
+	// strictly more than uniform share.
+	idle := 0
+	for i := 0; i < 4000; i++ {
+		if (PowerOfTwo{}).Pick(rng, eps) == eps[2] {
+			idle++
+		}
+	}
+	if idle <= 4000/len(eps) {
+		t.Errorf("power-of-two picked idle endpoint only %d/4000 times", idle)
+	}
+}
+
+func TestWeightedRoundRobinSkewsTowardIdle(t *testing.T) {
+	eps := fakeEndpoints(0, 19) // weights 1 and 1/20
+	rng := stats.NewRNG(3)
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		if (WeightedRoundRobin{}).Pick(rng, eps) == eps[0] {
+			counts[0]++
+		} else {
+			counts[1]++
+		}
+	}
+	// Expected share of eps[0] is 20/21 ≈ 0.95.
+	if share := float64(counts[0]) / 10000; share < 0.90 {
+		t.Errorf("idle endpoint share = %.3f, want ≳0.95", share)
+	}
+}
+
+func TestSubsetIndicesDeterministicAndDisjoint(t *testing.T) {
+	const n, size = 12, 3
+	// Deterministic: same client, same answer.
+	a := SubsetIndices(n, 5, size)
+	b := SubsetIndices(n, 5, size)
+	if len(a) != size {
+		t.Fatalf("subset size = %d, want %d", len(a), size)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("SubsetIndices not deterministic")
+		}
+	}
+
+	// Clients within one round cover disjoint slices of all n backends.
+	perRound := n / size
+	seen := make(map[int]int)
+	for client := 0; client < perRound; client++ {
+		for _, idx := range SubsetIndices(n, client, size) {
+			if idx < 0 || idx >= n {
+				t.Fatalf("index %d out of range", idx)
+			}
+			seen[idx]++
+		}
+	}
+	if len(seen) != n {
+		t.Errorf("round 0 covered %d/%d backends", len(seen), n)
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Errorf("backend %d assigned %d times within one round", idx, c)
+		}
+	}
+
+	// Different rounds shuffle differently (overwhelmingly likely).
+	r0 := SubsetIndices(n, 0, size)
+	r1 := SubsetIndices(n, perRound, size) // first client of round 1
+	same := len(r0) == len(r1)
+	if same {
+		for i := range r0 {
+			if r0[i] != r1[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("round 0 and round 1 produced identical subsets")
+	}
+
+	// size >= n degenerates to the full set.
+	full := SubsetIndices(4, 99, 10)
+	if want := []int{0, 1, 2, 3}; len(full) != len(want) {
+		t.Fatalf("full subset = %v", full)
+	}
+	if !sort.IntsAreSorted(full) {
+		t.Error("subset not sorted")
+	}
+}
+
+func TestSubsetPickStaysInSubset(t *testing.T) {
+	eps := fakeEndpoints(0, 1, 2, 3, 4, 5, 6, 7)
+	s := &Subset{ClientID: 1, Size: 2}
+	want := SubsetIndices(len(eps), 1, 2)
+	allowed := make(map[Endpoint]bool)
+	for _, idx := range want {
+		allowed[eps[idx]] = true
+	}
+	rng := stats.NewRNG(11)
+	for i := 0; i < 200; i++ {
+		if got := s.Pick(rng, eps); !allowed[got] {
+			t.Fatalf("pick escaped subset %v", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{
+		"round-robin", "rr", "random", "weighted-round-robin", "wrr",
+		"power-of-two", "p2c", "least-loaded", "subset",
+		"subset/round-robin", "subset/power-of-two",
+	} {
+		p, err := ByName(name, 3)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() == "" {
+			t.Errorf("ByName(%q): empty policy name", name)
+		}
+	}
+	if _, err := ByName("bogus", 0); err == nil {
+		t.Error("ByName(bogus) succeeded")
+	}
+	// Distinct client IDs in the same round get distinct subsets.
+	p1, _ := ByName("subset", 0)
+	p2, _ := ByName("subset", 1)
+	eps := fakeEndpoints(0, 0, 0, 0, 0, 0, 0, 0)
+	rng := stats.NewRNG(1)
+	got1 := map[Endpoint]bool{}
+	got2 := map[Endpoint]bool{}
+	for i := 0; i < 100; i++ {
+		got1[p1.Pick(rng, eps)] = true
+		got2[p2.Pick(rng, eps)] = true
+	}
+	for e := range got1 {
+		if got2[e] {
+			t.Fatal("clients 0 and 1 share subset members within one round")
+		}
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Policies() {
+		n := p.Name()
+		if n == "" {
+			t.Error("empty policy name")
+		}
+		if seen[n] {
+			t.Errorf("duplicate policy name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -147,6 +147,11 @@ func (s *Server) QueueLen() int { return len(s.queue) }
 // InFlight returns how many jobs are executing.
 func (s *Server) InFlight() int { return s.busy }
 
+// Load returns the server's instantaneous load estimate — queue depth
+// plus executing jobs. It implements loadbalance.Endpoint, so balancing
+// policies pick over simulated machines and live pools alike.
+func (s *Server) Load() int { return len(s.queue) + s.busy }
+
 // Served returns the number of completed jobs.
 func (s *Server) Served() uint64 { return s.served }
 

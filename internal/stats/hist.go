@@ -292,6 +292,60 @@ func (h *Hist) Buckets(fn func(lo, hi float64, count uint64)) {
 	}
 }
 
+// HistDump is the serializable form of a Hist: everything needed to
+// reconstruct the histogram in another process, JSON-tagged so
+// cross-process telemetry merges (the cluster harness's child → parent
+// reports) can ship distributions over a pipe.
+type HistDump struct {
+	Min     float64  `json:"min"`
+	Growth  float64  `json:"growth"`
+	Counts  []uint64 `json:"counts,omitempty"`
+	Under   uint64   `json:"under,omitempty"`
+	Total   uint64   `json:"total"`
+	Sum     float64  `json:"sum"`
+	SumSq   float64  `json:"sum_sq"`
+	MaxSeen float64  `json:"max_seen"`
+	MinSeen float64  `json:"min_seen"` // +Inf is encoded as 0 with Total==Under
+}
+
+// Export returns a serializable copy of the histogram's full state.
+func (h *Hist) Export() HistDump {
+	minSeen := h.minSeen
+	if math.IsInf(minSeen, 1) {
+		minSeen = 0 // JSON cannot carry +Inf; Import restores it
+	}
+	return HistDump{
+		Min:     h.min,
+		Growth:  h.growth,
+		Counts:  append([]uint64(nil), h.counts...),
+		Under:   h.under,
+		Total:   h.total,
+		Sum:     h.sum,
+		SumSq:   h.sumSq,
+		MaxSeen: h.maxSeen,
+		MinSeen: minSeen,
+	}
+}
+
+// Import reconstructs a histogram from an exported dump. The zero dump
+// yields an empty latency-shaped histogram.
+func Import(d HistDump) *Hist {
+	if d.Min <= 0 || d.Growth <= 1 {
+		return NewLatencyHist()
+	}
+	h := NewHist(d.Min, d.Growth)
+	h.counts = append([]uint64(nil), d.Counts...)
+	h.under = d.Under
+	h.total = d.Total
+	h.sum = d.Sum
+	h.sumSq = d.SumSq
+	h.maxSeen = d.MaxSeen
+	if d.MinSeen > 0 {
+		h.minSeen = d.MinSeen
+	}
+	return h
+}
+
 // Clone returns a deep copy of h.
 func (h *Hist) Clone() *Hist {
 	c := *h

@@ -39,6 +39,11 @@ type Channel struct {
 	sendQ      chan *clientCall
 	nextStream atomic.Uint64
 
+	// serverLoad caches the most recent load report the server piggybacked
+	// on a response envelope (see DESIGN.md §13); balancing policies read
+	// it through Pool.Load without any extra wire traffic.
+	serverLoad atomic.Int64
+
 	mu      sync.Mutex
 	pending map[uint64]*clientCall
 	streams map[uint64]*Stream
@@ -649,6 +654,7 @@ func (c *Channel) readLoop() {
 				c.failCall(call, perr)
 				continue
 			}
+			c.serverLoad.Store(int64(res.resp.Load))
 			// Ownership of the pooled buffer travels with the result; the
 			// waiting call releases it after copying the payload out.
 			call.resultCh <- res
@@ -735,7 +741,22 @@ func (c *Channel) deliverBulk(streamID uint64, b *clientBulk, data []byte) {
 		return
 	}
 	b.resp.Payload = data
+	c.serverLoad.Store(int64(b.resp.Load))
 	call.resultCh <- &callResult{resp: b.resp, buf: data, bulk: true, rxAtNs: rxNs}
+}
+
+// ServerLoad returns the server's most recently reported load estimate
+// (receive-queue depth plus executing handlers), 0 until the first
+// response arrives. It is the piggybacked signal load-aware balancing
+// policies consume.
+func (c *Channel) ServerLoad() int { return int(c.serverLoad.Load()) }
+
+// InFlight returns how many calls on this channel await a response.
+func (c *Channel) InFlight() int {
+	c.mu.Lock()
+	n := len(c.pending)
+	c.mu.Unlock()
+	return n
 }
 
 // failPending fails the pending call on streamID, if any.

@@ -123,6 +123,13 @@ type Options struct {
 	// 16 KiB default; negative disables the bulk lane. WithBulkThreshold
 	// and WithBulkLane override per call on the client side.
 	BulkThreshold int
+
+	// PoolPicker, when non-nil, replaces a Pool's round-robin channel
+	// selection: it is called with the live members (never empty, not
+	// retained) and returns the channel for one call. It must be safe for
+	// concurrent use. Channel.InFlight and Channel.ServerLoad are the load
+	// signals a picker typically consults.
+	PoolPicker func(channels []*Channel) *Channel
 }
 
 var defaultSecret = []byte("rpcscale-development-psk")

@@ -58,19 +58,67 @@ func (p *Pool) Size() int {
 	return len(p.channels)
 }
 
-// pick selects the next channel round-robin, redialing dead ones
-// opportunistically.
+// pick selects the next channel round-robin, or through Options.PoolPicker
+// when one is configured.
 func (p *Pool) pick() (*Channel, error) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed || len(p.channels) == 0 {
+		p.mu.Unlock()
 		return nil, ErrUnavailable
 	}
-	if len(p.channels) == 0 {
-		return nil, ErrUnavailable
+	if picker := p.opts.PoolPicker; picker != nil {
+		// Snapshot the members so the picker (user code) runs outside the
+		// pool lock; replace() may mutate the slice concurrently.
+		members := append([]*Channel(nil), p.channels...)
+		p.mu.Unlock()
+		if ch := picker(members); ch != nil {
+			return ch, nil
+		}
+		return members[0], nil
 	}
 	i := int(p.next.Add(1)) % len(p.channels)
-	return p.channels[i], nil
+	ch := p.channels[i]
+	p.mu.Unlock()
+	return ch, nil
+}
+
+// Addr returns the backend address the pool dials.
+func (p *Pool) Addr() string { return p.addr }
+
+// InFlight returns the number of calls awaiting responses across all
+// members — the client-side half of the pool's load estimate.
+func (p *Pool) InFlight() int {
+	p.mu.Lock()
+	channels := append([]*Channel(nil), p.channels...)
+	p.mu.Unlock()
+	n := 0
+	for _, ch := range channels {
+		n += ch.InFlight()
+	}
+	return n
+}
+
+// ServerLoad returns the backend's most recently piggybacked load report:
+// the maximum across members, since each channel's copy goes stale
+// independently and the freshest pessimistic signal balances best.
+func (p *Pool) ServerLoad() int {
+	p.mu.Lock()
+	channels := append([]*Channel(nil), p.channels...)
+	p.mu.Unlock()
+	load := 0
+	for _, ch := range channels {
+		if l := ch.ServerLoad(); l > load {
+			load = l
+		}
+	}
+	return load
+}
+
+// Load combines the client-side in-flight count with the server's
+// piggybacked report. It implements the loadbalance.Endpoint interface, so
+// the same policies that balance simulated machines balance live pools.
+func (p *Pool) Load() int {
+	return p.InFlight() + p.ServerLoad()
 }
 
 // Call issues a unary RPC on one pool member. A channel that died is

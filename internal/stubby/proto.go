@@ -43,6 +43,7 @@ const (
 	respElapsedNs   = 9
 	respMore        = 10
 	respBulkSize    = 11
+	respLoad        = 12
 )
 
 var requestDesc = codec.MustDescriptor("stubby.Request",
@@ -72,6 +73,7 @@ var responseDesc = codec.MustDescriptor("stubby.Response",
 	codec.Field{Number: respElapsedNs, Name: "server_elapsed_ns", Type: codec.TypeUint64},
 	codec.Field{Number: respMore, Name: "more", Type: codec.TypeBool},
 	codec.Field{Number: respBulkSize, Name: "bulk_size", Type: codec.TypeUint64},
+	codec.Field{Number: respLoad, Name: "load", Type: codec.TypeUint64},
 )
 
 // request is the decoded request envelope.
@@ -315,6 +317,10 @@ type response struct {
 	// BulkSize, on a bulk-response envelope, is the total payload size
 	// that follows as stream chunks (the envelope carries no payload).
 	BulkSize uint64
+	// Load is the server's instantaneous load report (recv-queue depth
+	// plus in-flight handlers) piggybacked on every response, feeding
+	// client-side load-aware balancing (DESIGN.md §13).
+	Load uint32
 }
 
 // marshalReference encodes r through the generic codec layer — the
@@ -340,6 +346,9 @@ func (r *response) marshalReference() ([]byte, error) {
 	if r.BulkSize != 0 {
 		m.Set(respBulkSize, r.BulkSize)
 	}
+	if r.Load != 0 {
+		m.Set(respLoad, uint64(r.Load))
+	}
 	return codec.Marshal(m)
 }
 
@@ -364,6 +373,9 @@ func appendResponse(dst []byte, r *response) []byte {
 	}
 	if r.BulkSize != 0 {
 		dst = appendUintField(dst, respBulkSize, r.BulkSize)
+	}
+	if r.Load != 0 {
+		dst = appendUintField(dst, respLoad, uint64(r.Load))
 	}
 	return dst
 }
@@ -406,6 +418,8 @@ func parseResponseInto(r *response, buf []byte) error {
 				r.Timings.Elapsed = time.Duration(x)
 			case respBulkSize:
 				r.BulkSize = x
+			case respLoad:
+				r.Load = uint32(x)
 			}
 		case 2: // length-delimited
 			length, n := wire.Uvarint(buf)

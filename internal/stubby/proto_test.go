@@ -51,6 +51,7 @@ func TestEnvelopeFastPathParity(t *testing.T) {
 			},
 		},
 		{Code: trace.OK, Payload: bytes.Repeat([]byte{9}, 2048), More: true},
+		{Code: trace.OK, Payload: []byte("loaded"), Load: 37},
 		{},
 	}
 	for i, r := range responses {
@@ -95,6 +96,7 @@ func TestEnvelopeFastPathRoundTrip(t *testing.T) {
 		Payload: []byte("partial"),
 		More:    true,
 		Timings: serverTimings{RecvQueue: 1, App: 2, SendQueue: 3, RespProc: 4, Elapsed: 10},
+		Load:    12,
 	}
 	rbuf := appendResponse(nil, &resp)
 	var rout response
@@ -103,7 +105,7 @@ func TestEnvelopeFastPathRoundTrip(t *testing.T) {
 	}
 	if rout.Code != resp.Code || rout.Message != resp.Message ||
 		!bytes.Equal(rout.Payload, resp.Payload) || rout.More != resp.More ||
-		rout.Timings != resp.Timings {
+		rout.Load != resp.Load || rout.Timings != resp.Timings {
 		t.Fatalf("response round trip mismatch: %+v != %+v", rout, resp)
 	}
 }

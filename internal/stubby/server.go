@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rpcscale/internal/compressor"
@@ -41,6 +42,11 @@ type Server struct {
 	intern func([]byte) string
 
 	recvQ chan *serverCall
+
+	// inflight counts calls a worker is currently executing; together with
+	// the receive-queue depth it is the load estimate piggybacked on every
+	// response (DESIGN.md §13) for client-side load-aware balancing.
+	inflight atomic.Int64
 
 	lnMu      sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -514,7 +520,16 @@ func (s *Server) worker() {
 	}
 }
 
+// Load returns the server's instantaneous load estimate: queued requests
+// plus handlers currently executing. It is cheap enough to read on every
+// response and is what the response envelope's load field reports.
+func (s *Server) Load() int {
+	return len(s.recvQ) + int(s.inflight.Load())
+}
+
 func (s *Server) handle(call *serverCall) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if call.stream != nil {
 		// Stream open: fault injection covers unary calls only; streams
 		// pass through (they are outside the paper's sampled RPC classes).
@@ -721,6 +736,9 @@ func (s *Server) prepareResponse(sr *serverResponse, batch []*serverResponse, en
 		App:       sr.app,
 		SendQueue: procStart.Sub(sr.appDone),
 	}
+	// Piggyback the current load estimate so clients balance on
+	// near-real-time signals without a separate control RPC.
+	resp.Load = uint32(s.Load())
 	// Marshal once to measure RespProc including serialization; the
 	// timing fields are filled before the final marshal so RespProc is
 	// a lower bound measured up to the write.

@@ -384,6 +384,14 @@ func WithSecret(secret []byte) Option {
 	return func(c *stackConfig) { c.opts.Secret = secret }
 }
 
+// WithPoolPicker replaces a Pool's round-robin channel selection with a
+// custom picker (e.g. least-in-flight). The picker is called with the live
+// members and must be safe for concurrent use; Channel.InFlight and
+// Channel.ServerLoad are the load signals it typically consults.
+func WithPoolPicker(pick func(channels []*Channel) *Channel) Option {
+	return func(c *stackConfig) { c.opts.PoolPicker = pick }
+}
+
 // WithStubbyOptions seeds the configuration from a full options struct;
 // later Options override its fields.
 func WithStubbyOptions(opts StubbyOptions) Option {
