@@ -16,6 +16,10 @@
 // harness's aggregate throughput and tail latency (cluster_calls_per_sec,
 // cluster_p99_ms) from an `rpccluster -json` report, so the cluster smoke
 // lands in the same BENCH_stubby.json artifact as the microbenchmarks.
+//
+// With -fleetgen FILE the series folds in fleetgen's generation rate
+// (fleetgen_spans_per_sec) and DAG volume (fleetgen_fanin_edges), parsed
+// from the "rate: spans_per_sec=..." line fleetgen prints on stderr.
 package main
 
 import (
@@ -152,7 +156,49 @@ func clusterSeries(r io.Reader) (map[string]float64, error) {
 	}, nil
 }
 
-func run(in io.Reader, out io.Writer, withSeries bool, cluster io.Reader) error {
+// fleetgenSeries extracts the tracked generation metrics from fleetgen's
+// saved stderr: the last "rate: spans_per_sec=N fanin_edges=N ..." line
+// wins, so warm-up runs in the same log are ignored.
+func fleetgenSeries(r io.Reader) (map[string]float64, error) {
+	var series map[string]float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "rate: ") {
+			continue
+		}
+		parsed := make(map[string]float64)
+		for _, kv := range strings.Fields(line)[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				continue
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				continue
+			}
+			switch k {
+			case "spans_per_sec":
+				parsed["fleetgen_spans_per_sec"] = f
+			case "fanin_edges":
+				parsed["fleetgen_fanin_edges"] = f
+			}
+		}
+		if len(parsed) > 0 {
+			series = parsed
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleetgen log: %w", err)
+	}
+	if series == nil {
+		return nil, fmt.Errorf("fleetgen log: no rate line found")
+	}
+	return series, nil
+}
+
+func run(in io.Reader, out io.Writer, withSeries bool, cluster, fleetgen io.Reader) error {
 	results, err := parseBench(in)
 	if err != nil {
 		return err
@@ -175,12 +221,22 @@ func run(in io.Reader, out io.Writer, withSeries bool, cluster io.Reader) error 
 			series[k] = v
 		}
 	}
+	if fleetgen != nil {
+		fs, err := fleetgenSeries(fleetgen)
+		if err != nil {
+			return err
+		}
+		for k, v := range fs {
+			series[k] = v
+		}
+	}
 	return enc.Encode(report{Results: results, Series: series})
 }
 
 func main() {
 	withSeries := flag.Bool("series", false, "emit {results, series} with the tracked scalar metrics instead of a bare array")
 	clusterFile := flag.String("cluster", "", "rpccluster -json report whose aggregate metrics join the series (implies -series)")
+	fleetgenFile := flag.String("fleetgen", "", "fleetgen stderr log whose rate metrics join the series (implies -series)")
 	flag.Parse()
 	in := io.Reader(os.Stdin)
 	if flag.NArg() > 0 {
@@ -203,7 +259,18 @@ func main() {
 		cluster = f
 		*withSeries = true
 	}
-	if err := run(in, os.Stdout, *withSeries, cluster); err != nil {
+	var fleetgen io.Reader
+	if *fleetgenFile != "" {
+		f, err := os.Open(*fleetgenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		fleetgen = f
+		*withSeries = true
+	}
+	if err := run(in, os.Stdout, *withSeries, cluster, fleetgen); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

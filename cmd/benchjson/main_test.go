@@ -61,7 +61,7 @@ func TestStripProcSuffix(t *testing.T) {
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out, false, nil); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &out, false, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	var decoded []Result
@@ -75,7 +75,7 @@ func TestRunEmitsValidJSON(t *testing.T) {
 
 func TestRunSeries(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out, true, nil); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &out, true, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	var decoded report
@@ -101,7 +101,7 @@ func TestRunClusterSeries(t *testing.T) {
 		"p99_ms": 4.39
 	}`
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out, true, strings.NewReader(clusterReport)); err != nil {
+	if err := run(strings.NewReader(sampleOutput), &out, true, strings.NewReader(clusterReport), nil); err != nil {
 		t.Fatal(err)
 	}
 	var decoded report
@@ -120,16 +120,50 @@ func TestRunClusterSeries(t *testing.T) {
 	}
 }
 
+func TestRunFleetgenSeries(t *testing.T) {
+	fleetgenLog := `catalog: 4000 methods
+motif fanin: 12 methods
+rate: spans_per_sec=18000 fanin_edges=100 motif_nodes=90
+rate: spans_per_sec=39265 fanin_edges=453815 motif_nodes=402431
+wrote 10000000 spans
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, true, nil, strings.NewReader(fleetgenLog)); err != nil {
+		t.Fatal(err)
+	}
+	var decoded report
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// The last rate line wins (warm-up runs are ignored).
+	if got := decoded.Series["fleetgen_spans_per_sec"]; got != 39265 {
+		t.Fatalf("fleetgen_spans_per_sec = %v, want 39265", got)
+	}
+	if got := decoded.Series["fleetgen_fanin_edges"]; got != 453815 {
+		t.Fatalf("fleetgen_fanin_edges = %v, want 453815", got)
+	}
+	if got := decoded.Series["bulk_16KiB_MBps"]; got != 765.56 {
+		t.Fatalf("bulk_16KiB_MBps = %v, want 765.56", got)
+	}
+}
+
+func TestRunFleetgenSeriesNoRateLine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleOutput), &out, true, nil, strings.NewReader("no rate here\n")); err == nil {
+		t.Fatal("fleetgen log without a rate line did not error")
+	}
+}
+
 func TestRunClusterSeriesBadReport(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sampleOutput), &out, true, strings.NewReader("not json")); err == nil {
+	if err := run(strings.NewReader(sampleOutput), &out, true, strings.NewReader("not json"), nil); err == nil {
 		t.Fatal("malformed cluster report did not error")
 	}
 }
 
 func TestRunEmptyInput(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("no benchmarks here\n"), &out, false, nil); err != nil {
+	if err := run(strings.NewReader("no benchmarks here\n"), &out, false, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "[]" {

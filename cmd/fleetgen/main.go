@@ -39,6 +39,8 @@ import (
 type streamSink struct {
 	w     *trace.SpanWriter
 	roots atomic.Uint64
+	fanIn atomic.Uint64 // fan-in edges across all graphs
+	motif atomic.Uint64 // motif-tagged nodes across all graphs
 
 	mu  sync.Mutex
 	err error
@@ -62,7 +64,15 @@ func (s *streamSink) TreeSpan(sp *trace.Span) {
 	}
 	s.write(sp)
 }
-func (s *streamSink) TreeShape(string, int, int)             {}
+func (s *streamSink) TreeShape(string, int, int) {}
+func (s *streamSink) GraphShape(g workload.GraphStat) {
+	s.fanIn.Add(uint64(g.FanInEdges))
+	var nodes uint64
+	for m := 1; m < trace.NumMotifs; m++ {
+		nodes += uint64(g.Motifs[m])
+	}
+	s.motif.Add(nodes)
+}
 func (s *streamSink) ExoSample(string, *trace.Span, sim.Exo) {}
 
 func main() {
@@ -71,6 +81,7 @@ func main() {
 		volume     = flag.Int("volume", 200000, "popularity-weighted call samples")
 		trees      = flag.Int("trees", 1000, "materialized call trees")
 		samples    = flag.Int("samples", 150, "stratified samples per method")
+		motifs     = flag.String("motifs", "", "DAG motif packs to apply: comma list of fanin,cache,sidecar,replica, or 'all'")
 		seed       = flag.Uint64("seed", 1, "master seed")
 		out        = flag.String("o", "spans.jsonl", "output path ('-' for stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -96,6 +107,16 @@ func main() {
 		MachinesPerCluster: 16, Seed: *seed,
 	})
 	cat := fleet.New(fleet.Config{Methods: *methods, Clusters: len(topo.Clusters), Seed: *seed})
+	packs, err := fleet.ParseMotifs(*motifs)
+	if err != nil {
+		fatal(err)
+	}
+	if len(packs) > 0 {
+		counts := fleet.ApplyMotifs(cat, packs, *seed)
+		for _, p := range packs {
+			fmt.Fprintf(os.Stderr, "motif %s: %d methods\n", p.Name(), counts[p.Name()])
+		}
+	}
 	// Ctrl-C stops generation at the next sample boundary; everything
 	// streamed so far is already on its way to the writer.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -127,8 +148,12 @@ func main() {
 	if sink.err != nil {
 		fatal(sink.err)
 	}
+	elapsed := time.Since(start)
+	rate := float64(sink.w.Count()) / elapsed.Seconds()
 	fmt.Fprintf(os.Stderr, "wrote %d spans (%d trees, %d methods) in %v\n",
-		sink.w.Count(), sink.roots.Load(), len(cat.Methods), time.Since(start).Round(time.Millisecond))
+		sink.w.Count(), sink.roots.Load(), len(cat.Methods), elapsed.Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "rate: spans_per_sec=%.0f fanin_edges=%d motif_nodes=%d\n",
+		rate, sink.fanIn.Load(), sink.motif.Load())
 
 	if *memstats {
 		var m runtime.MemStats

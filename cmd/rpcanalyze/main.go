@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rpcanalyze [-methods N] [-volume N] [-samples N] [-trees N]
-//	           [-seed N] [-days N] [-lb] [-quick] [-stream]
+//	           [-motifs packs] [-seed N] [-days N] [-lb] [-quick] [-stream]
 //
 // -quick shrinks everything for a fast smoke run; paper-scale is
 // -methods 10000 -volume 2000000.
@@ -44,6 +44,7 @@ func main() {
 		volume     = flag.Int("volume", 200000, "popularity-weighted call samples")
 		samples    = flag.Int("samples", 150, "stratified samples per method")
 		trees      = flag.Int("trees", 1000, "materialized call trees")
+		motifs     = flag.String("motifs", "", "DAG motif packs to apply: comma list of fanin,cache,sidecar,replica, or 'all'")
 		seed       = flag.Uint64("seed", 1, "master seed")
 		days       = flag.Int("days", 700, "growth history days (Fig. 1)")
 		lb         = flag.Bool("lb", true, "run the Fig. 22 load-balance experiment")
@@ -84,6 +85,16 @@ func main() {
 		MachinesPerCluster: 16, Seed: *seed,
 	})
 	cat := fleet.New(fleet.Config{Methods: *methods, Clusters: len(topo.Clusters), Seed: *seed})
+	packs, err := fleet.ParseMotifs(*motifs)
+	if err != nil {
+		fatal(err)
+	}
+	if len(packs) > 0 {
+		counts := fleet.ApplyMotifs(cat, packs, *seed)
+		for _, p := range packs {
+			fmt.Fprintf(os.Stderr, "motif %s: %d methods\n", p.Name(), counts[p.Name()])
+		}
+	}
 
 	// Ctrl-C cancels generation at the next sample boundary; the report
 	// then runs over whatever the shards produced so far.

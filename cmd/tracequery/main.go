@@ -1,13 +1,19 @@
 // Command tracequery loads a span dump produced by cmd/fleetgen and
-// answers ad-hoc questions: per-method percentiles, tree shapes for a
-// trace ID, and top-k listings — a miniature of the Dapper query UI.
+// answers ad-hoc questions: per-method percentiles, call-graph shapes for
+// a trace ID, and top-k listings — a miniature of the Dapper query UI.
 //
 // Usage:
 //
 //	tracequery -in spans.jsonl method <name>     per-method summary
-//	tracequery -in spans.jsonl trace <trace-id>  print one call tree
+//	tracequery -in spans.jsonl trace <trace-id>  print one call graph
 //	tracequery -in spans.jsonl top [k]           top methods by calls
 //	tracequery -in spans.jsonl errors            error mix
+//	tracequery -in spans.jsonl motifs            motif/tier census
+//
+// -motif restricts method/top/errors to spans carrying one motif tag
+// (fanin, cache_hit, cache_miss, sidecar, replica). The trace command
+// prints the DAG: extra in-edges recorded in linked_parents are shown as
+// "also under" annotations on shared nodes.
 package main
 
 import (
@@ -33,16 +39,35 @@ func load(path string) ([]*trace.Span, error) {
 
 func main() {
 	in := flag.String("in", "spans.jsonl", "span dump from fleetgen")
+	motif := flag.String("motif", "", "restrict method/top/errors to spans with this motif tag (fanin, cache_hit, cache_miss, sidecar, replica)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: tracequery -in spans.jsonl {method <name> | trace <id> | top [k] | errors}")
+		fmt.Fprintln(os.Stderr, "usage: tracequery -in spans.jsonl [-motif tag] {method <name> | trace <id> | top [k] | errors | motifs}")
 		os.Exit(2)
 	}
 	spans, err := load(*in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *motif != "" && args[0] != "trace" && args[0] != "motifs" {
+		want := trace.ParseMotif(*motif)
+		if want == trace.MotifNone {
+			fmt.Fprintf(os.Stderr, "unknown motif %q\n", *motif)
+			os.Exit(2)
+		}
+		var kept []*trace.Span
+		for _, s := range spans {
+			if s.Motif == want {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			fmt.Printf("no spans with motif %s\n", want)
+			return
+		}
+		spans = kept
 	}
 	switch args[0] {
 	case "method":
@@ -72,6 +97,8 @@ func main() {
 		topMethods(spans, k)
 	case "errors":
 		errorMix(spans)
+	case "motifs":
+		motifCensus(spans)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		os.Exit(2)
@@ -117,13 +144,23 @@ func printTree(spans []*trace.Span, id trace.TraceID) {
 		fmt.Printf("no spans for trace %d\n", id)
 		return
 	}
-	for _, tree := range trace.BuildTrees(subset) {
-		var walk func(n *trace.Node, indent string)
-		walk = func(n *trace.Node, indent string) {
+	for _, g := range trace.BuildGraphs(subset) {
+		if g.FanInEdges() > 0 {
+			fmt.Printf("graph: %d spans, %d fan-in edges, depth %d, width %d\n",
+				g.Spans, g.FanInEdges(), g.Depth(), g.Width())
+		}
+		var walk func(n *trace.GraphNode, indent string)
+		walk = func(n *trace.GraphNode, indent string) {
 			s := n.Span
 			status := ""
 			if s.Err.IsError() {
 				status = "  [" + s.Err.String() + "]"
+			}
+			if s.Motif != trace.MotifNone {
+				status += "  {" + s.Motif.String() + "}"
+			}
+			if len(s.LinkedParents) > 0 {
+				status += fmt.Sprintf("  also under %d more parent(s)", len(s.LinkedParents))
 			}
 			fmt.Printf("%s%s  %v  (%s -> %s)%s\n", indent, s.Method,
 				s.Breakdown.Total().Round(time.Microsecond),
@@ -132,7 +169,35 @@ func printTree(spans []*trace.Span, id trace.TraceID) {
 				walk(c, indent+"  ")
 			}
 		}
-		walk(tree.Root, "")
+		walk(g.Root, "")
+	}
+}
+
+// motifCensus prints the tier and motif composition of the dump: how many
+// spans carry each motif tag and each tier label.
+func motifCensus(spans []*trace.Span) {
+	var motifs [trace.NumMotifs]int
+	var tiers [trace.NumTiers]int
+	linked := 0
+	for _, s := range spans {
+		if int(s.Motif) < trace.NumMotifs {
+			motifs[s.Motif]++
+		}
+		if int(s.Tier) < trace.NumTiers {
+			tiers[s.Tier]++
+		}
+		linked += len(s.LinkedParents)
+	}
+	fmt.Printf("%d spans, %d fan-in edges\n", len(spans), linked)
+	fmt.Println("tiers:")
+	for t := 0; t < trace.NumTiers; t++ {
+		fmt.Printf("  %-10s %8d  (%5.2f%%)\n", trace.Tier(t), tiers[t],
+			100*float64(tiers[t])/float64(len(spans)))
+	}
+	fmt.Println("motifs:")
+	for m := 1; m < trace.NumMotifs; m++ {
+		fmt.Printf("  %-10s %8d  (%5.2f%%)\n", trace.Motif(m), motifs[m],
+			100*float64(motifs[m])/float64(len(spans)))
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/bits"
 	"sync"
 
 	"rpcscale/internal/fleet"
@@ -54,6 +55,70 @@ type ReportSink struct {
 	desc map[string]*stats.Sample
 	anc  map[string]*stats.Sample
 	exo  map[string][]workload.ExoObservation
+
+	// Call-graph DAG shape state (whole-graph summaries plus the per-span
+	// tier/motif census).
+	graph graphAccum
+}
+
+// graphAccum is the DAG-shape accumulator behind the call-graph figures:
+// whole-graph summaries fed by GraphShape (size histogram, depth-by-width
+// joint counts, fan-in totals, per-motif node counts) plus a per-span
+// tier/motif census folded from every span channel. All state is integer
+// counters or exact-merge histograms, so accumulation is invariant to
+// shard routing and fold order — the property that keeps streaming and
+// materialized reports byte-identical.
+type graphAccum struct {
+	graphs      uint64
+	fanInGraphs uint64 // graphs with at least one fan-in edge
+	fanInEdges  uint64
+	sharedNodes uint64
+	size        *stats.Hist       // graph node counts (the size CCDF)
+	depthWidth  map[[2]int]uint64 // (depth, log2 width bucket) -> graphs
+	motifNodes  [trace.NumMotifs]uint64
+
+	censusSpans uint64
+	tierSpans   [trace.NumTiers]uint64
+	motifSpans  [trace.NumMotifs]uint64
+}
+
+func newGraphAccum() graphAccum {
+	return graphAccum{
+		size:       stats.NewHist(1, stats.DefaultGrowth),
+		depthWidth: make(map[[2]int]uint64),
+	}
+}
+
+// censusSpan folds one span into the tier/motif census.
+func (a *graphAccum) censusSpan(s *trace.Span) {
+	a.censusSpans++
+	if int(s.Tier) < trace.NumTiers {
+		a.tierSpans[s.Tier]++
+	}
+	if int(s.Motif) < trace.NumMotifs {
+		a.motifSpans[s.Motif]++
+	}
+}
+
+func (a *graphAccum) merge(o *graphAccum) {
+	a.graphs += o.graphs
+	a.fanInGraphs += o.fanInGraphs
+	a.fanInEdges += o.fanInEdges
+	a.sharedNodes += o.sharedNodes
+	a.size.Merge(o.size)
+	for k, v := range o.depthWidth {
+		a.depthWidth[k] += v
+	}
+	for i := range a.motifNodes {
+		a.motifNodes[i] += o.motifNodes[i]
+	}
+	a.censusSpans += o.censusSpans
+	for i := range a.tierSpans {
+		a.tierSpans[i] += o.tierSpans[i]
+	}
+	for i := range a.motifSpans {
+		a.motifSpans[i] += o.motifSpans[i]
+	}
 }
 
 // reportMTU is the single-MTU accelerator size the report quotes (§2.5).
@@ -196,6 +261,7 @@ func NewReportSink() *ReportSink {
 		anc:        make(map[string]*stats.Sample),
 		exo:        make(map[string][]workload.ExoObservation),
 	}
+	k.graph = newGraphAccum()
 	for _, s := range fleet.EightServices() {
 		k.studiedSet[s.Method] = true
 	}
@@ -204,6 +270,7 @@ func NewReportSink() *ReportSink {
 
 // MethodSpan folds one stratified per-method sample (workload.SpanSink).
 func (k *ReportSink) MethodSpan(s *trace.Span) {
+	k.graph.censusSpan(s)
 	a := k.methods[s.Method]
 	if a == nil {
 		a = newMethodAccum()
@@ -239,6 +306,7 @@ func (k *ReportSink) MethodSpan(s *trace.Span) {
 
 // VolumeSpan folds one span of the fleet call mix (workload.SpanSink).
 func (k *ReportSink) VolumeSpan(s *trace.Span) {
+	k.graph.censusSpan(s)
 	// Fig. 23: every span counts, errors and hedges included.
 	k.errCalls++
 	if s.Err.IsError() {
@@ -319,11 +387,35 @@ func (k *ReportSink) VolumeSpan(s *trace.Span) {
 	}
 }
 
-// TreeSpan receives materialized call-tree spans (workload.SpanSink). The
-// report consumes tree structure only through TreeShape, so it discards
-// the spans themselves; retention-oriented sinks (the dump writer, the
-// Dataset buffer) use them.
-func (k *ReportSink) TreeSpan(*trace.Span) {}
+// TreeSpan folds one materialized call-graph span (workload.SpanSink):
+// only the tier/motif census consumes it — graph structure arrives via
+// GraphShape and TreeShape — so no span is retained.
+func (k *ReportSink) TreeSpan(s *trace.Span) { k.graph.censusSpan(s) }
+
+// GraphShape folds one whole-graph summary (workload.SpanSink).
+func (k *ReportSink) GraphShape(g workload.GraphStat) {
+	a := &k.graph
+	a.graphs++
+	a.size.Add(float64(g.Spans))
+	if g.FanInEdges > 0 {
+		a.fanInGraphs++
+	}
+	a.fanInEdges += uint64(g.FanInEdges)
+	a.sharedNodes += uint64(g.SharedNodes)
+	a.depthWidth[[2]int{g.Depth, widthBucket(g.Width)}]++
+	for i, n := range g.Motifs {
+		a.motifNodes[i] += uint64(n)
+	}
+}
+
+// widthBucket log2-buckets a graph width: bucket b covers widths
+// [2^(b-1), 2^b).
+func widthBucket(w int) int {
+	if w < 0 {
+		w = 0
+	}
+	return bits.Len(uint(w))
+}
 
 // TreeShape folds one call observation's shape (workload.SpanSink).
 func (k *ReportSink) TreeShape(method string, descendants, ancestors int) {
@@ -422,6 +514,7 @@ func (k *ReportSink) Merge(o *ReportSink) {
 	for name, obs := range o.exo {
 		k.exo[name] = append(k.exo[name], obs...)
 	}
+	k.graph.merge(&o.graph)
 }
 
 func mergeShapeSamples(dst, src map[string]*stats.Sample) {
@@ -468,6 +561,7 @@ func SinkFromDataset(ds *workload.Dataset) *ReportSink {
 		note(spans)
 	}
 	note(ds.VolumeSpans)
+	note(ds.TreeSpans)
 	if shards > maxReplayShards {
 		shards = 1
 	}
@@ -489,6 +583,15 @@ func SinkFromDataset(ds *workload.Dataset) *ReportSink {
 	}
 	for _, s := range ds.VolumeSpans {
 		sinks[shardOf(s)].VolumeSpan(s)
+	}
+	for _, s := range ds.TreeSpans {
+		sinks[shardOf(s)].TreeSpan(s)
+	}
+	// Graph summaries are plain integer-count values, so (like shape
+	// samples below) their accumulation is invariant to sink assignment;
+	// the whole set goes through the first sink.
+	for _, g := range ds.GraphStats {
+		sinks[0].GraphShape(g)
 	}
 	// Shape samples and exogenous observations carry no shard marker, but
 	// their analyses are invariant to how they are split across sinks

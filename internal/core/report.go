@@ -100,6 +100,9 @@ func renderReport(sink *ReportSink, prof *gwp.Snapshot, opts ReportOptions) stri
 	// Figs. 4-5
 	line(sink.TreeShapeAnalysis().Render())
 
+	// Call-graph DAG shape (fan-in, motifs, tiers).
+	line(sink.GraphShapeAnalysis().Render())
+
 	// Figs. 6-7
 	line(sink.RequestSizeByMethod().Render())
 	line(sink.ResponseSizeByMethod().Render())

@@ -33,13 +33,21 @@ type TreeShapeResult struct {
 	MaxDepth float64
 }
 
+// minShapeSamples is the minimum per-method shape-sample count for a
+// method to appear in the Figs. 4/5 tables: below 20 samples the P99
+// descendant estimate is dominated by a single draw, so sparse methods
+// (e.g. ones only seen deep inside reconstructed trees) are excluded
+// rather than reported with meaningless tails.
+const minShapeSamples = 20
+
 // TreeShapeAnalysis computes Figs. 4/5 from the per-method shape samples
-// gathered during generation.
+// a materialized Dataset gathered during generation.
 func TreeShapeAnalysis(ds *workload.Dataset) *TreeShapeResult {
 	return treeShapeFrom(ds.DescendantsByMethod, ds.AncestorsByMethod)
 }
 
-// TreeShapeAnalysis computes Figs. 4/5 from accumulated shape samples.
+// TreeShapeAnalysis computes Figs. 4/5 from the shape samples this sink
+// accumulated while streaming.
 func (k *ReportSink) TreeShapeAnalysis() *TreeShapeResult {
 	return treeShapeFrom(k.desc, k.anc)
 }
@@ -49,7 +57,7 @@ func treeShapeFrom(descBy, ancBy map[string]*stats.Sample) *TreeShapeResult {
 	for _, name := range sortedKeys(descBy) {
 		desc := descBy[name]
 		anc := ancBy[name]
-		if desc == nil || desc.Len() < 20 {
+		if desc == nil || desc.Len() < minShapeSamples {
 			continue
 		}
 		row := ShapeRow{

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
 )
 
 // Config sizes a synthetic catalog.
@@ -220,10 +221,13 @@ func New(cfg Config) *Catalog {
 	// of calls (§2.3), redistributing the excess to the fast half. ---
 	rebalanceSlowTail(cat.Methods, slowCut, 0.011)
 
-	// --- Layers, callees, placement. ---
+	// --- Layers, callees, placement, tiers. ---
 	wireRng := root.Child("wiring")
 	assignLayersAndCallees(cat.Methods, wireRng)
 	assignPlacement(cat.Methods, cfg.Clusters, wireRng)
+	for _, m := range cat.Methods {
+		m.Tier = tierForClass(m.Service.Class)
+	}
 
 	// --- Normalize popularity and build the sampler. ---
 	var total float64
@@ -594,6 +598,21 @@ func fasterThan(pool []*Method, m *Method) []*Method {
 		}
 	}
 	return out
+}
+
+// tierForClass derives a method's default tier from its service class:
+// storage and analytics services own durable state, the in-memory
+// KV/latency-sensitive services are the memcached tier, and compute plus
+// the generic long tail are stateless. Motif packs may retag.
+func tierForClass(class ServiceClass) trace.Tier {
+	switch class {
+	case Storage, Analytics:
+		return trace.TierStateful
+	case LatencySensitive:
+		return trace.TierCache
+	default:
+		return trace.TierStateless
+	}
 }
 
 func isNamed(m *Method) bool {

@@ -83,6 +83,42 @@ type Method struct {
 	// HomeClusters are indices (into the topology's cluster list) where
 	// the method's servers run.
 	HomeClusters []int
+
+	// Tier is the method's state discipline (stateless/stateful/cache),
+	// following the three-tier decomposition of "Complexity at Scale".
+	// The catalog derives it from the service class; motif packs may
+	// retag methods (cache-aside promotes its lookup tier to cache).
+	Tier trace.Tier
+
+	// --- Motif wiring, set by ApplyMotifs (all zero without motifs). ---
+
+	// SharedDep marks a fan-in target: within one call graph the method
+	// is invoked at most once, and every further caller links to the
+	// existing span (an extra in-edge) instead of spawning a new subtree.
+	SharedDep bool
+
+	// Cache configures cache-aside: calls consult Cache.Method first and
+	// branch deterministically on hit/miss.
+	Cache *CacheAside
+
+	// SidecarProb is the probability a call to this method is routed
+	// through a sidecar proxy hop (an extra span between caller and
+	// callee).
+	SidecarProb float64
+
+	// Replicas is the cross-datacenter replication factor: each call
+	// additionally writes to this many replicas in other datacenters.
+	Replicas int
+}
+
+// CacheAside is the cache-aside motif configuration of one method.
+type CacheAside struct {
+	// Method is the cache-tier method consulted before the handler runs.
+	Method *Method
+	// HitRate is the deterministic hit probability: the branch is a pure
+	// function of (trace ID, span ID), so a graph's shape replays
+	// exactly for a fixed seed.
+	HitRate float64
 }
 
 // SampleAppTime draws handler time as a duration.

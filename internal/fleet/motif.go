@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rpcscale/internal/stats"
+	"rpcscale/internal/trace"
+)
+
+// Motif is one composable call-graph rewrite: applied to a catalog, it
+// rewrites a set of methods' downstream edge behavior so the generated
+// traces take production DAG shapes instead of pure trees ("Complexity
+// at Scale": shared subtrees, cache-aside branching, sidecar hops,
+// cross-datacenter replication). Motifs mutate only the motif-wiring
+// fields of Method (SharedDep, Cache, SidecarProb, Replicas, Tier), so
+// the catalog's calibrated latency/size/popularity models are untouched
+// and a no-motif run is byte-identical to the pre-DAG generator.
+type Motif interface {
+	// Name is the stable pack name used by the -motifs CLI flag.
+	Name() string
+	// Apply rewires the catalog and returns how many methods it tagged.
+	// All randomized choices draw from rng, so a (catalog, seed) pair
+	// yields one deterministic rewiring.
+	Apply(cat *Catalog, rng *stats.RNG) int
+}
+
+// FanInMotif marks the most popular low-layer methods as shared
+// dependencies: within one call graph each is invoked at most once, and
+// every further caller links to the existing span. This is the fan-in /
+// shared-subtree structure that makes production call graphs DAGs.
+type FanInMotif struct {
+	// Targets is how many methods become shared dependencies (0 selects
+	// the default of 12).
+	Targets int
+}
+
+// Name implements Motif.
+func (f FanInMotif) Name() string { return "fanin" }
+
+// Apply implements Motif: the Targets most popular layer-0/1 methods
+// with at least one caller become shared dependencies.
+func (f FanInMotif) Apply(cat *Catalog, rng *stats.RNG) int {
+	targets := f.Targets
+	if targets <= 0 {
+		targets = 12
+	}
+	callers := calleeCounts(cat)
+	var pool []*Method
+	for _, m := range cat.Methods {
+		if m.Layer <= 1 && callers[m] >= 2 {
+			pool = append(pool, m)
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].Popularity != pool[j].Popularity {
+			return pool[i].Popularity > pool[j].Popularity
+		}
+		return pool[i].Index < pool[j].Index
+	})
+	if targets > len(pool) {
+		targets = len(pool)
+	}
+	for _, m := range pool[:targets] {
+		m.SharedDep = true
+	}
+	return targets
+}
+
+// CacheAsideMotif puts a cache tier in front of stateful methods: a
+// deterministic fraction of calls hit the cache (one fast cache span, no
+// backing subtree), the rest miss (cache span plus the normal subtree).
+type CacheAsideMotif struct {
+	// Fraction of eligible (stateful, non-leaf-layer) methods fronted by
+	// a cache (0 selects 0.35).
+	Fraction float64
+	// HitRate is the deterministic per-call hit probability (0 selects
+	// 0.80, memcached-tier territory).
+	HitRate float64
+}
+
+// Name implements Motif.
+func (c CacheAsideMotif) Name() string { return "cache" }
+
+// Apply implements Motif: eligible stateful methods get a cache-tier
+// lookup method (drawn from the fastest decile) consulted before the
+// handler; the lookup methods are retagged TierCache.
+func (c CacheAsideMotif) Apply(cat *Catalog, rng *stats.RNG) int {
+	fraction := c.Fraction
+	if fraction <= 0 {
+		fraction = 0.35
+	}
+	hitRate := c.HitRate
+	if hitRate <= 0 {
+		hitRate = 0.80
+	}
+	// The memcached stand-ins: fast methods from the lowest-latency
+	// decile, preferring ones already tagged cache-tier (the in-memory
+	// KV class).
+	var lookups []*Method
+	cut := len(cat.Methods) / 10
+	if cut < 1 {
+		cut = 1
+	}
+	for _, m := range cat.Methods[:cut] {
+		if m.Tier == trace.TierCache {
+			lookups = append(lookups, m)
+		}
+	}
+	if len(lookups) == 0 {
+		for _, m := range cat.Methods[:cut] {
+			lookups = append(lookups, m)
+		}
+	}
+	if len(lookups) == 0 {
+		return 0
+	}
+	tagged := 0
+	for _, m := range cat.Methods {
+		if m.Tier != trace.TierStateful || m.SharedDep {
+			continue
+		}
+		if !rng.Bool(fraction) {
+			continue
+		}
+		lookup := lookups[rng.Intn(len(lookups))]
+		if lookup == m {
+			continue
+		}
+		lookup.Tier = trace.TierCache
+		m.Cache = &CacheAside{Method: lookup, HitRate: hitRate}
+		tagged++
+	}
+	return tagged
+}
+
+// SidecarMotif routes calls through service-mesh sidecar proxies: tagged
+// methods gain an extra proxy span between caller and callee.
+type SidecarMotif struct {
+	// Fraction of methods behind a mesh (0 selects 0.25).
+	Fraction float64
+	// Prob is the per-call probability the hop is taken once a method is
+	// meshed (0 selects 1.0 — a mesh proxies everything).
+	Prob float64
+}
+
+// Name implements Motif.
+func (s SidecarMotif) Name() string { return "sidecar" }
+
+// Apply implements Motif.
+func (s SidecarMotif) Apply(cat *Catalog, rng *stats.RNG) int {
+	fraction := s.Fraction
+	if fraction <= 0 {
+		fraction = 0.25
+	}
+	prob := s.Prob
+	if prob <= 0 {
+		prob = 1.0
+	}
+	tagged := 0
+	for _, m := range cat.Methods {
+		if rng.Bool(fraction) {
+			m.SidecarProb = prob
+			tagged++
+		}
+	}
+	return tagged
+}
+
+// ReplicationMotif adds cross-datacenter replication to stateful write
+// paths: each call to a tagged method fans out replica writes to other
+// datacenters.
+type ReplicationMotif struct {
+	// Replicas per call (0 selects 2 — three copies total).
+	Replicas int
+	// Fraction of stateful methods replicated (0 selects 0.20).
+	Fraction float64
+}
+
+// Name implements Motif.
+func (r ReplicationMotif) Name() string { return "replica" }
+
+// Apply implements Motif.
+func (r ReplicationMotif) Apply(cat *Catalog, rng *stats.RNG) int {
+	replicas := r.Replicas
+	if replicas <= 0 {
+		replicas = 2
+	}
+	fraction := r.Fraction
+	if fraction <= 0 {
+		fraction = 0.20
+	}
+	tagged := 0
+	for _, m := range cat.Methods {
+		if m.Tier != trace.TierStateful || len(m.HomeClusters) < 2 {
+			continue
+		}
+		if rng.Bool(fraction) {
+			m.Replicas = replicas
+			tagged++
+		}
+	}
+	return tagged
+}
+
+// DefaultMotifs returns every pack at its default tuning, in application
+// order.
+func DefaultMotifs() []Motif {
+	return []Motif{FanInMotif{}, CacheAsideMotif{}, SidecarMotif{}, ReplicationMotif{}}
+}
+
+// ParseMotifs resolves a comma-separated pack list ("fanin,cache",
+// "all", "" for none) to motifs at default tuning.
+func ParseMotifs(spec string) ([]Motif, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	if spec == "all" {
+		return DefaultMotifs(), nil
+	}
+	byName := make(map[string]Motif)
+	for _, m := range DefaultMotifs() {
+		byName[m.Name()] = m
+	}
+	var out []Motif
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		m, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("fleet: unknown motif pack %q (have fanin, cache, sidecar, replica, all)", name)
+		}
+		seen[name] = true
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// ApplyMotifs rewires the catalog with the given packs, in order, using
+// randomness derived from seed alone — a fixed (catalog config, packs,
+// seed) triple always yields the same DAG wiring. It returns per-pack
+// tag counts keyed by pack name.
+func ApplyMotifs(cat *Catalog, motifs []Motif, seed uint64) map[string]int {
+	counts := make(map[string]int, len(motifs))
+	root := stats.NewRNG(seed).Child("motifs")
+	for _, m := range motifs {
+		counts[m.Name()] += m.Apply(cat, root.Child(m.Name()))
+	}
+	return counts
+}
+
+// calleeCounts returns, per method, how many catalog methods list it as
+// a callee (its static in-degree).
+func calleeCounts(cat *Catalog) map[*Method]int {
+	counts := make(map[*Method]int, len(cat.Methods))
+	for _, m := range cat.Methods {
+		for _, c := range m.Callees {
+			counts[c]++
+		}
+	}
+	return counts
+}

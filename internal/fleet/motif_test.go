@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"testing"
+
+	"rpcscale/internal/trace"
+)
+
+func TestParseMotifs(t *testing.T) {
+	for _, spec := range []string{"", "none"} {
+		if got, err := ParseMotifs(spec); err != nil || got != nil {
+			t.Errorf("ParseMotifs(%q) = %v, %v; want nil, nil", spec, got, err)
+		}
+	}
+	all, err := ParseMotifs("all")
+	if err != nil || len(all) != len(DefaultMotifs()) {
+		t.Errorf("ParseMotifs(all) = %d packs, %v; want %d", len(all), err, len(DefaultMotifs()))
+	}
+	got, err := ParseMotifs("fanin, cache")
+	if err != nil {
+		t.Fatalf("ParseMotifs(fanin, cache): %v", err)
+	}
+	if len(got) != 2 || got[0].Name() != "fanin" || got[1].Name() != "cache" {
+		t.Errorf("ParseMotifs(fanin, cache) = %v", got)
+	}
+	// Repeats collapse to one pack.
+	if got, _ := ParseMotifs("sidecar,sidecar"); len(got) != 1 {
+		t.Errorf("duplicate pack not collapsed: %v", got)
+	}
+	if _, err := ParseMotifs("fanin,bogus"); err == nil {
+		t.Error("unknown pack name must error")
+	}
+}
+
+func TestApplyMotifsDeterministic(t *testing.T) {
+	wire := func() *Catalog {
+		cat := New(Config{Methods: 400, Clusters: 36, Seed: 11})
+		ApplyMotifs(cat, DefaultMotifs(), 11)
+		return cat
+	}
+	a, b := wire(), wire()
+	for i := range a.Methods {
+		ma, mb := a.Methods[i], b.Methods[i]
+		if ma.SharedDep != mb.SharedDep || ma.SidecarProb != mb.SidecarProb ||
+			ma.Replicas != mb.Replicas || ma.Tier != mb.Tier ||
+			(ma.Cache == nil) != (mb.Cache == nil) {
+			t.Fatalf("motif wiring not deterministic at method %d (%s)", i, ma.Name)
+		}
+		if ma.Cache != nil && ma.Cache.Method.Name != mb.Cache.Method.Name {
+			t.Fatalf("cache lookup differs at method %d (%s)", i, ma.Name)
+		}
+	}
+}
+
+func TestApplyMotifsInvariants(t *testing.T) {
+	cat := New(Config{Methods: 400, Clusters: 36, Seed: 11})
+	counts := ApplyMotifs(cat, DefaultMotifs(), 11)
+	for _, pack := range []string{"fanin", "cache", "sidecar", "replica"} {
+		if counts[pack] == 0 {
+			t.Errorf("pack %s tagged 0 methods", pack)
+		}
+	}
+	for _, m := range cat.Methods {
+		if m.SharedDep && m.Layer > 1 {
+			t.Errorf("%s: shared dep at layer %d, want <= 1", m.Name, m.Layer)
+		}
+		if m.Cache != nil {
+			if m.Tier != trace.TierStateful {
+				t.Errorf("%s: cache-fronted but tier %s", m.Name, m.Tier)
+			}
+			if m.Cache.Method.Tier != trace.TierCache {
+				t.Errorf("%s: cache lookup %s not retagged TierCache",
+					m.Name, m.Cache.Method.Name)
+			}
+			if m.Cache.HitRate <= 0 || m.Cache.HitRate >= 1 {
+				t.Errorf("%s: hit rate %v outside (0,1)", m.Name, m.Cache.HitRate)
+			}
+		}
+		if m.Replicas > 0 {
+			if m.Tier != trace.TierStateful {
+				t.Errorf("%s: replicated but tier %s", m.Name, m.Tier)
+			}
+			if len(m.HomeClusters) < 2 {
+				t.Errorf("%s: replicated with %d home clusters", m.Name, len(m.HomeClusters))
+			}
+		}
+	}
+}
+
+func TestNoMotifCatalogStaysTreeShaped(t *testing.T) {
+	cat := New(Config{Methods: 400, Clusters: 36, Seed: 11})
+	for _, m := range cat.Methods {
+		if m.SharedDep || m.Cache != nil || m.SidecarProb != 0 || m.Replicas != 0 {
+			t.Fatalf("%s has motif wiring before ApplyMotifs", m.Name)
+		}
+	}
+}

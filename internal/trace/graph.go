@@ -1,0 +1,187 @@
+package trace
+
+// Graph is one reconstructed RPC call graph. Unlike the deprecated Tree,
+// it preserves every in-edge: the primary parent link (ParentID) forms a
+// spanning tree, and LinkedParents add the fan-in edges that make
+// production call graphs DAGs ("Complexity at Scale": shared subtrees
+// reached from multiple parents).
+type Graph struct {
+	Root  *GraphNode
+	Spans int // nodes in the graph
+
+	// Nodes indexes every node by span ID for O(1) lookups.
+	Nodes map[SpanID]*GraphNode
+}
+
+// GraphNode is one RPC within a graph. Children follow primary-parent
+// edges (the spanning tree); LinkedChildren are the extra out-edges to
+// shared dependencies whose primary parent is elsewhere.
+type GraphNode struct {
+	Span           *Span
+	Children       []*GraphNode
+	LinkedChildren []*GraphNode
+
+	// Parents holds every in-edge, primary first. len(Parents) > 1 marks
+	// a shared dependency (a fan-in node).
+	Parents []*GraphNode
+}
+
+// Shared reports whether the node has more than one parent.
+func (n *GraphNode) Shared() bool { return len(n.Parents) > 1 }
+
+// FanInEdges returns the number of extra in-edges across the graph: the
+// count of (parent, child) links beyond the spanning tree. A tree-shaped
+// graph returns 0.
+func (g *Graph) FanInEdges() int {
+	edges := 0
+	for _, n := range g.Nodes {
+		if len(n.Parents) > 1 {
+			edges += len(n.Parents) - 1
+		}
+	}
+	return edges
+}
+
+// SharedNodes returns how many nodes have more than one parent.
+func (g *Graph) SharedNodes() int {
+	shared := 0
+	for _, n := range g.Nodes {
+		if n.Shared() {
+			shared++
+		}
+	}
+	return shared
+}
+
+// Depth returns the height of the spanning tree (a single-node graph has
+// depth 0). Depth follows primary edges only, so it is well-defined even
+// when fan-in edges would otherwise create multiple path lengths.
+func (g *Graph) Depth() int {
+	var walk func(n *GraphNode) int
+	walk = func(n *GraphNode) int {
+		max := 0
+		for _, c := range n.Children {
+			if d := walk(c) + 1; d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	if g.Root == nil {
+		return 0
+	}
+	return walk(g.Root)
+}
+
+// Width returns the maximum number of nodes at any single depth of the
+// spanning tree — the "how wide" axis of the depth-vs-width joint
+// distribution.
+func (g *Graph) Width() int {
+	if g.Root == nil {
+		return 0
+	}
+	var counts []int
+	var walk func(n *GraphNode, depth int)
+	walk = func(n *GraphNode, depth int) {
+		for len(counts) <= depth {
+			counts = append(counts, 0)
+		}
+		counts[depth]++
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(g.Root, 0)
+	width := 0
+	for _, c := range counts {
+		if c > width {
+			width = c
+		}
+	}
+	return width
+}
+
+// Walk visits every node of the spanning tree pre-order with its primary
+// depth. Fan-in edges are not traversed (each node is visited once).
+func (g *Graph) Walk(fn func(n *GraphNode, depth int)) {
+	if g.Root == nil {
+		return
+	}
+	var walk func(n *GraphNode, depth int)
+	walk = func(n *GraphNode, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(g.Root, 0)
+}
+
+// BuildGraphs reconstructs call graphs from a flat span collection. The
+// primary parent link (ParentID) forms the spanning tree, exactly as
+// BuildTrees does — spans whose primary parent is missing become roots of
+// partial graphs — and every resolvable LinkedParents entry adds a fan-in
+// edge on top. Linked parents that are missing from the collection, would
+// self-loop, duplicate the primary edge, or repeat an already-recorded
+// in-edge are dropped.
+func BuildGraphs(spans []*Span) []*Graph {
+	type key struct {
+		t TraceID
+		s SpanID
+	}
+	nodes := make(map[key]*GraphNode, len(spans))
+	for _, s := range spans {
+		nodes[key{s.TraceID, s.SpanID}] = &GraphNode{Span: s}
+	}
+	var roots []*GraphNode
+	for _, s := range spans {
+		n := nodes[key{s.TraceID, s.SpanID}]
+		attached := false
+		if s.ParentID != 0 {
+			if p, ok := nodes[key{s.TraceID, s.ParentID}]; ok && p != n {
+				p.Children = append(p.Children, n)
+				n.Parents = append(n.Parents, p)
+				attached = true
+			}
+		}
+		if !attached {
+			roots = append(roots, n)
+		}
+		for _, lp := range s.LinkedParents {
+			if lp == s.ParentID || lp == s.SpanID {
+				continue
+			}
+			p, ok := nodes[key{s.TraceID, lp}]
+			if !ok || p == n {
+				continue
+			}
+			dup := false
+			for _, q := range n.Parents {
+				if q == p {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			p.LinkedChildren = append(p.LinkedChildren, n)
+			n.Parents = append(n.Parents, p)
+		}
+	}
+	graphs := make([]*Graph, 0, len(roots))
+	for _, r := range roots {
+		g := &Graph{Root: r, Nodes: make(map[SpanID]*GraphNode)}
+		var collect func(n *GraphNode)
+		collect = func(n *GraphNode) {
+			g.Nodes[n.Span.SpanID] = n
+			for _, c := range n.Children {
+				collect(c)
+			}
+		}
+		collect(r)
+		g.Spans = len(g.Nodes)
+		graphs = append(graphs, g)
+	}
+	return graphs
+}

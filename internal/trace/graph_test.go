@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"testing"
+)
+
+// diamondSpans builds the canonical DAG: root 1 with children 2 and 3,
+// and a shared leaf 4 whose primary parent is 2 with an extra in-edge
+// from 3.
+func diamondSpans() []*Span {
+	mk := func(id, parent SpanID) *Span {
+		return &Span{TraceID: 7, SpanID: id, ParentID: parent, Method: "m", Service: "s"}
+	}
+	shared := mk(4, 2)
+	shared.LinkedParents = []SpanID{3}
+	shared.Motif = MotifFanIn
+	return []*Span{mk(1, 0), mk(2, 1), mk(3, 1), shared}
+}
+
+func TestBuildGraphsDiamond(t *testing.T) {
+	graphs := BuildGraphs(diamondSpans())
+	if len(graphs) != 1 {
+		t.Fatalf("got %d graphs, want 1", len(graphs))
+	}
+	g := graphs[0]
+	if g.Spans != 4 {
+		t.Errorf("Spans = %d, want 4", g.Spans)
+	}
+	if got := g.FanInEdges(); got != 1 {
+		t.Errorf("FanInEdges = %d, want 1", got)
+	}
+	if got := g.SharedNodes(); got != 1 {
+		t.Errorf("SharedNodes = %d, want 1", got)
+	}
+	if got := g.Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2", got)
+	}
+	if got := g.Width(); got != 2 {
+		t.Errorf("Width = %d, want 2", got)
+	}
+	shared := g.Nodes[4]
+	if shared == nil {
+		t.Fatal("shared node missing")
+	}
+	if len(shared.Parents) != 2 || !shared.Shared() {
+		t.Errorf("shared node has %d parents, want 2", len(shared.Parents))
+	}
+	// Primary parent first, linked parent after.
+	if shared.Parents[0].Span.SpanID != 2 || shared.Parents[1].Span.SpanID != 3 {
+		t.Errorf("parent order = [%d %d], want [2 3]",
+			shared.Parents[0].Span.SpanID, shared.Parents[1].Span.SpanID)
+	}
+	if n3 := g.Nodes[3]; len(n3.LinkedChildren) != 1 || n3.LinkedChildren[0] != shared {
+		t.Error("linked child edge missing on node 3")
+	}
+}
+
+func TestBuildGraphsDropsBogusLinks(t *testing.T) {
+	spans := diamondSpans()
+	// Missing target, self-loop, and duplicate-of-primary must all drop.
+	spans[3].LinkedParents = []SpanID{999, 4, 2, 3, 3}
+	g := BuildGraphs(spans)[0]
+	if got := g.FanInEdges(); got != 1 {
+		t.Errorf("FanInEdges = %d, want 1 (bogus links dropped)", got)
+	}
+}
+
+func TestBuildGraphsTreeDegeneratesToZeroFanIn(t *testing.T) {
+	spans := diamondSpans()
+	spans[3].LinkedParents = nil
+	g := BuildGraphs(spans)[0]
+	if g.FanInEdges() != 0 || g.SharedNodes() != 0 {
+		t.Errorf("tree-shaped graph reports fan-in: edges=%d shared=%d",
+			g.FanInEdges(), g.SharedNodes())
+	}
+}
+
+func TestBuildGraphsSplitsByTrace(t *testing.T) {
+	spans := diamondSpans()
+	other := &Span{TraceID: 8, SpanID: 10, Method: "m", Service: "s"}
+	graphs := BuildGraphs(append(spans, other))
+	if len(graphs) != 2 {
+		t.Fatalf("got %d graphs, want 2", len(graphs))
+	}
+}
+
+func TestGraphWalkVisitsEveryNodeOnce(t *testing.T) {
+	g := BuildGraphs(diamondSpans())[0]
+	seen := map[SpanID]int{}
+	g.Walk(func(n *GraphNode, depth int) { seen[n.Span.SpanID]++ })
+	if len(seen) != 4 {
+		t.Fatalf("walk visited %d nodes, want 4", len(seen))
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("node %d visited %d times", id, n)
+		}
+	}
+}
+
+func TestTierMotifStrings(t *testing.T) {
+	for ti := 0; ti < NumTiers; ti++ {
+		if ParseTier(Tier(ti).String()) != Tier(ti) {
+			t.Errorf("tier %d does not round-trip", ti)
+		}
+	}
+	for m := 0; m < NumMotifs; m++ {
+		if ParseMotif(Motif(m).String()) != Motif(m) {
+			t.Errorf("motif %d does not round-trip", m)
+		}
+	}
+	if ParseTier("bogus") != TierStateless || ParseMotif("bogus") != MotifNone {
+		t.Error("unknown names must fall back to the zero value")
+	}
+}

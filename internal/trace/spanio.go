@@ -16,11 +16,28 @@ type SpanRecord struct {
 	TraceID  uint64 `json:"trace_id"`
 	SpanID   uint64 `json:"span_id"`
 	ParentID uint64 `json:"parent_id,omitempty"`
-	Method   string `json:"method"`
-	Service  string `json:"service"`
-	Client   string `json:"client_cluster"`
-	Server   string `json:"server_cluster"`
-	StartNs  int64  `json:"start_ns"`
+
+	// LinkedParents are the extra in-edges of a DAG-shaped trace (shared
+	// dependencies reached from several parents). Absent for tree-shaped
+	// spans and in dumps written before the DAG model; readers treat a
+	// missing field as no extra edges.
+	LinkedParents []uint64 `json:"linked_parents,omitempty"`
+
+	Method  string `json:"method"`
+	Service string `json:"service"`
+
+	// Tier is the method's state discipline ("stateless", "stateful",
+	// "cache"). Omitted when stateless — the default every pre-tier dump
+	// decodes to.
+	Tier string `json:"tier,omitempty"`
+
+	// Motif marks motif-pack spans ("fanin", "cache_hit", "cache_miss",
+	// "sidecar", "replica"); omitted for ordinary calls.
+	Motif string `json:"motif,omitempty"`
+
+	Client  string `json:"client_cluster"`
+	Server  string `json:"server_cluster"`
+	StartNs int64  `json:"start_ns"`
 
 	// Components holds the nine latencies in Component order, ns.
 	Components [NumComponents]int64 `json:"components_ns"`
@@ -55,6 +72,18 @@ func ToRecord(s *Span) SpanRecord {
 		CPUCycles: s.CPUCycles,
 		Hedged:    s.Hedged,
 	}
+	if len(s.LinkedParents) > 0 {
+		r.LinkedParents = make([]uint64, len(s.LinkedParents))
+		for i, p := range s.LinkedParents {
+			r.LinkedParents[i] = uint64(p)
+		}
+	}
+	if s.Tier != TierStateless {
+		r.Tier = s.Tier.String()
+	}
+	if s.Motif != MotifNone {
+		r.Motif = s.Motif.String()
+	}
 	for i, d := range s.Breakdown {
 		r.Components[i] = int64(d)
 	}
@@ -80,8 +109,16 @@ func (r *SpanRecord) ToSpan() *Span {
 		Start:         time.Duration(r.StartNs),
 		RequestBytes:  r.ReqBytes,
 		ResponseBytes: r.RespBytes,
+		Tier:          ParseTier(r.Tier),
+		Motif:         ParseMotif(r.Motif),
 		CPUCycles:     r.CPUCycles,
 		Hedged:        r.Hedged,
+	}
+	if len(r.LinkedParents) > 0 {
+		s.LinkedParents = make([]SpanID, len(r.LinkedParents))
+		for i, p := range r.LinkedParents {
+			s.LinkedParents[i] = SpanID(p)
+		}
 	}
 	for i, v := range r.Components {
 		s.Breakdown[i] = time.Duration(v)

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -26,11 +27,15 @@ func sampleSpan() *Span {
 	}
 }
 
+// spansEqual compares spans field-by-field; Span is no longer directly
+// comparable since LinkedParents made it a DAG node.
+func spansEqual(a, b *Span) bool { return reflect.DeepEqual(a, b) }
+
 func TestSpanRecordRoundTrip(t *testing.T) {
 	in := sampleSpan()
 	rec := ToRecord(in)
 	out := rec.ToSpan()
-	if *out != *in {
+	if !spansEqual(out, in) {
 		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
 	}
 }
@@ -63,7 +68,7 @@ func TestWriteReadSpans(t *testing.T) {
 		t.Fatalf("read %d spans", len(got))
 	}
 	for i := range spans {
-		if *got[i] != *spans[i] {
+		if !spansEqual(got[i], spans[i]) {
 			t.Fatalf("span %d mismatch", i)
 		}
 	}
@@ -110,7 +115,7 @@ func TestSpanRecordRoundTripProperty(t *testing.T) {
 			return true
 		}
 		rec := ToRecord(s)
-		return *rec.ToSpan() == *s
+		return spansEqual(rec.ToSpan(), s)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

@@ -187,7 +187,84 @@ func (e ErrorCode) String() string {
 // IsError reports whether the code is a failure.
 func (e ErrorCode) IsError() bool { return e != OK }
 
-// TraceID identifies one RPC tree; all spans of the tree share it.
+// Tier classifies a method by its state discipline, following the
+// three-tier decomposition of "Complexity at Scale" (stateless service
+// layers, stateful/database layers, and the memcached tier). The zero
+// value is TierStateless, which is also what dumps written before the
+// tier tag existed decode to.
+type Tier uint8
+
+// Method tiers.
+const (
+	TierStateless Tier = iota
+	TierStateful
+	TierCache
+
+	NumTiers int = iota
+)
+
+var tierNames = [NumTiers]string{"stateless", "stateful", "cache"}
+
+// String returns the tier name.
+func (t Tier) String() string {
+	if int(t) >= NumTiers {
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+	return tierNames[t]
+}
+
+// ParseTier maps a tier name back to its code; unknown names (including
+// the empty string of pre-tier dumps) decode to TierStateless.
+func ParseTier(s string) Tier {
+	for i, n := range tierNames {
+		if n == s {
+			return Tier(i)
+		}
+	}
+	return TierStateless
+}
+
+// Motif marks a span produced by one of the call-graph motif packs
+// (internal/fleet): a shared dependency reached through fan-in, a
+// cache-aside lookup that hit or missed, a sidecar proxy hop, or a
+// cross-datacenter replication write. MotifNone (the zero value, omitted
+// from dumps) is an ordinary call.
+type Motif uint8
+
+// Span motifs.
+const (
+	MotifNone Motif = iota
+	MotifFanIn
+	MotifCacheHit
+	MotifCacheMiss
+	MotifSidecar
+	MotifReplica
+
+	NumMotifs int = iota
+)
+
+var motifNames = [NumMotifs]string{"", "fanin", "cache_hit", "cache_miss", "sidecar", "replica"}
+
+// String returns the motif name ("" for MotifNone).
+func (m Motif) String() string {
+	if int(m) >= NumMotifs {
+		return fmt.Sprintf("Motif(%d)", int(m))
+	}
+	return motifNames[m]
+}
+
+// ParseMotif maps a motif name back to its code; unknown names decode to
+// MotifNone.
+func ParseMotif(s string) Motif {
+	for i, n := range motifNames {
+		if i > 0 && n == s {
+			return Motif(i)
+		}
+	}
+	return MotifNone
+}
+
+// TraceID identifies one RPC call graph; all spans of the graph share it.
 type TraceID uint64
 
 // SpanID identifies one span within a trace.
@@ -199,10 +276,24 @@ type SpanID uint64
 type Span struct {
 	TraceID  TraceID
 	SpanID   SpanID
-	ParentID SpanID // 0 for the root RPC of a tree
+	ParentID SpanID // 0 for the root RPC of a graph
+
+	// LinkedParents are additional logical parents beyond ParentID:
+	// production call graphs are DAGs, and a shared dependency reached
+	// from several callers keeps one primary parent (ParentID, for
+	// Dapper compatibility) while the extra in-edges ride here. Empty
+	// for tree-shaped spans and for dumps written before the DAG model.
+	LinkedParents []SpanID
 
 	Method  string // fully qualified method, e.g. "networkdisk.Disk/Write"
 	Service string // owning service, e.g. "networkdisk"
+
+	// Tier is the method's state discipline (stateless/stateful/cache).
+	Tier Tier
+
+	// Motif marks spans synthesized by a graph-motif pack (sidecar hops,
+	// cache lookups, replication writes, shared fan-in dependencies).
+	Motif Motif
 
 	ClientCluster string // cluster the caller ran in
 	ServerCluster string // cluster the callee ran in
@@ -248,6 +339,12 @@ func (s *Span) HasCPUSplit() bool {
 func (s *Span) SameCluster() bool { return s.ClientCluster == s.ServerCluster }
 
 // Tree is one reconstructed RPC call tree.
+//
+// Deprecated: production call graphs are DAGs — a shared dependency can
+// be reached from several parents — and Tree drops every in-edge beyond
+// the primary one. Use Graph/BuildGraphs, which preserve LinkedParents;
+// Tree remains for the paper's tree-shape figures (Figs. 4/5), which are
+// defined over the primary-parent spanning tree.
 type Tree struct {
 	Root  *Node
 	Spans int // total spans in the tree
@@ -297,6 +394,11 @@ func (n *Node) walk(fn func(node *Node, ancestors int), depth int) {
 // whose parent is missing from the collection (e.g., dropped by sampling)
 // are promoted to roots of their own partial trees, which is how Dapper
 // handles incomplete traces. Children appear in insertion order.
+//
+// Deprecated: BuildTrees follows only primary-parent edges and silently
+// drops LinkedParents, so DAG-shaped traces lose their fan-in structure.
+// Use BuildGraphs for the full call-graph reconstruction; BuildTrees
+// remains the spanning-tree view behind the Figs. 4/5 analyses.
 func BuildTrees(spans []*Span) []*Tree {
 	type key struct {
 		t TraceID

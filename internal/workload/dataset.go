@@ -121,6 +121,10 @@ type Dataset struct {
 	// ExoByMethod holds studied-method spans paired with cluster state.
 	ExoByMethod map[string][]ExoObservation
 
+	// GraphStats summarizes every fully-generated call graph (stratified
+	// and materialized roots; depth-truncated volume roots are excluded).
+	GraphStats []GraphStat
+
 	// Profile is the GWP cycle attribution accumulated over the run.
 	Profile *gwp.Snapshot
 }
@@ -234,6 +238,7 @@ func Run(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, cfg RunCon
 		for name, obs := range d.exo {
 			ds.ExoByMethod[name] = append(ds.ExoByMethod[name], obs...)
 		}
+		ds.GraphStats = append(ds.GraphStats, d.graphs...)
 	}
 	ds.Trees = trace.BuildTrees(ds.TreeSpans)
 	ds.Profile = snap
@@ -293,6 +298,7 @@ func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof 
 			obs := gen.Call(m, CallOptions{At: at, MaxDepth: cfg.MaxDepth, Budget: cfg.TreeBudget})
 			sink.MethodSpan(obs.Span)
 			sink.TreeShape(m.Name, obs.Descendants, obs.Ancestors)
+			sink.GraphShape(obs.Graph)
 			if studied[m.Name] {
 				sink.ExoSample(m.Name, obs.Span, obs.Exo)
 			}
@@ -326,7 +332,7 @@ func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof 
 		}
 		m := roots[rng.Intn(len(roots))]
 		at := time.Duration(rng.Float64() * float64(24*time.Hour))
-		gen.Call(m, CallOptions{
+		obs := gen.Call(m, CallOptions{
 			At: at, MaxDepth: cfg.MaxDepth, Budget: cfg.TreeBudget,
 			Materialize: true,
 			Observe: func(o CallObservation) {
@@ -334,6 +340,7 @@ func runShard(ctx context.Context, cat *fleet.Catalog, topo *sim.Topology, prof 
 				sink.TreeShape(o.Span.Method, o.Descendants, o.Ancestors)
 			},
 		})
+		sink.GraphShape(obs.Graph)
 	}
 }
 

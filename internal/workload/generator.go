@@ -46,6 +46,49 @@ type Generator struct {
 	// The default 0.75 models production placement; the co-location
 	// what-if study (§5.2) compares against 0.
 	ColocateBoost float64
+
+	// Per-graph accounting, reset at the top of Call. depthNodes[d] is
+	// the node count at primary depth d; shared tracks this graph's
+	// shared-dependency spans so later callers add in-edges instead of
+	// regenerating subtrees; pending holds observations of shared spans,
+	// deferred to the end of the graph so fan-in edges recorded by later
+	// callers are present when the span is observed (and serialized).
+	depthNodes  []int
+	motifCount  [trace.NumMotifs]uint32
+	fanInEdges  int
+	sharedNodes int
+	shared      map[*fleet.Method]*sharedEntry
+	pending     []CallObservation
+}
+
+// sharedEntry tracks one shared dependency within the graph being
+// generated: the span (once built), in-edges recorded before it exists,
+// and how many extra parents reached it.
+type sharedEntry struct {
+	primary trace.SpanID   // the spanning-tree parent
+	span    *trace.Span    // nil until built, or when not materializing
+	extra   []trace.SpanID // in-edges recorded before the span exists
+	links   int            // extra in-edges gained so far
+	motif   trace.Motif    // motif the node was first generated with
+}
+
+// hasEdge reports whether parent p already has an edge to this node
+// (primary or fan-in); a repeated call to the same shared dependency from
+// one parent is a single graph edge.
+func (e *sharedEntry) hasEdge(p trace.SpanID) bool {
+	if p == e.primary {
+		return true
+	}
+	edges := e.extra
+	if e.span != nil {
+		edges = e.span.LinkedParents
+	}
+	for _, q := range edges {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // Tax-cycle attribution rates. The per-span cycle tax averages
@@ -110,6 +153,10 @@ type CallObservation struct {
 	Exo         sim.Exo // server cluster state at call time
 	Descendants int
 	Ancestors   int
+
+	// Graph summarizes the whole call graph. It is populated only on the
+	// observation Call returns (the root), after the graph is complete.
+	Graph GraphStat
 }
 
 // CallOptions controls one tree generation.
@@ -154,6 +201,7 @@ func (g *Generator) Call(m *fleet.Method, opts CallOptions) CallObservation {
 	}
 	budget := opts.Budget
 	tid := g.newTraceID()
+	g.resetGraph()
 	var rootObs CallObservation
 	inner := opts.Observe
 	opts.Observe = func(o CallObservation) {
@@ -168,8 +216,54 @@ func (g *Generator) Call(m *fleet.Method, opts CallOptions) CallObservation {
 	if client == nil {
 		client = g.pickClient(m, opts)
 	}
-	g.genCall(m, client, opts.At, 0, &budget, tid, 0, &opts, true)
+	res := g.genCall(m, client, opts.At, 0, &budget, tid, 0, &opts, true, trace.MotifNone)
+	// Shared-dependency spans were held back so fan-in edges recorded by
+	// later callers made it onto the span; flush them in generation order.
+	for _, o := range g.pending {
+		opts.Observe(o)
+	}
+	depth, width := 0, 0
+	for d, n := range g.depthNodes {
+		if n == 0 {
+			continue
+		}
+		if d > depth {
+			depth = d
+		}
+		if n > width {
+			width = n
+		}
+	}
+	rootObs.Graph = GraphStat{
+		Root:        m.Name,
+		Spans:       res.nodes,
+		Depth:       depth,
+		Width:       width,
+		FanInEdges:  g.fanInEdges,
+		SharedNodes: g.sharedNodes,
+		Motifs:      g.motifCount,
+	}
 	return rootObs
+}
+
+// resetGraph clears the per-graph accounting at the top of Call.
+func (g *Generator) resetGraph() {
+	g.depthNodes = g.depthNodes[:0]
+	g.motifCount = [trace.NumMotifs]uint32{}
+	g.fanInEdges = 0
+	g.sharedNodes = 0
+	for k := range g.shared {
+		delete(g.shared, k)
+	}
+	g.pending = g.pending[:0]
+}
+
+// noteNode records one graph node at its primary depth.
+func (g *Generator) noteNode(depth int) {
+	for len(g.depthNodes) <= depth {
+		g.depthNodes = append(g.depthNodes, 0)
+	}
+	g.depthNodes[depth]++
 }
 
 // pickClient chooses the caller's cluster for a root call: usually one of
@@ -227,9 +321,15 @@ func (g *Generator) newSpanID() trace.SpanID {
 	return trace.SpanID(g.idBase | g.nextSpanID)
 }
 
-// genCall generates one call and its subtree.
-func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Duration, depth int, budget *int, tid trace.TraceID, parent trace.SpanID, opts *CallOptions, isRoot bool) callResult {
+// genCall generates one call and the graph below it. motif tags the span
+// when it was produced by a motif branch (cache hit/miss); plain calls
+// pass trace.MotifNone.
+func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Duration, depth int, budget *int, tid trace.TraceID, parent trace.SpanID, opts *CallOptions, isRoot bool, motif trace.Motif) callResult {
 	*budget--
+	g.noteNode(depth)
+	if motif != trace.MotifNone {
+		g.motifCount[motif]++
+	}
 	rng := g.rng
 	var server *sim.Cluster
 	switch {
@@ -246,6 +346,17 @@ func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Durati
 	req, resp := m.SampleSizes(rng)
 	spanID := g.newSpanID() // allocated before recursion so children can link
 
+	// Register shared dependencies up front so any caller reached later in
+	// this graph links to this span instead of spawning a new subtree.
+	var sharedE *sharedEntry
+	if m.SharedDep && !isRoot {
+		if g.shared == nil {
+			g.shared = make(map[*fleet.Method]*sharedEntry)
+		}
+		sharedE = &sharedEntry{primary: parent, motif: motif}
+		g.shared[m] = sharedE
+	}
+
 	// Application time target: catalog profile scaled by platform speed
 	// and exogenous slowdown (the Fig. 16/17 cluster-state coupling).
 	// Per the paper (§2.1), this time *includes* waiting on nested
@@ -257,23 +368,58 @@ func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Durati
 	// Nested calls: children run in parallel with this server as their
 	// client (partition/aggregate), so the slowest child gates the
 	// parent, plus a small per-child dispatch cost.
-	var childTime time.Duration
 	nodes := 1
-	if depth < opts.MaxDepth && *budget > 0 {
+	dispatched := 0
+	var slowest time.Duration
+
+	// Cache-aside: consult the cache tier first. The branch is a pure
+	// function of (trace ID, span ID), so graph shapes replay exactly for
+	// a fixed seed; a hit elides the backing subtree entirely.
+	cacheHit := false
+	if m.Cache != nil && depth < opts.MaxDepth && *budget > 0 {
+		cacheHit = cacheHitFor(tid, spanID, m.Cache.HitRate)
+		cm := trace.MotifCacheMiss
+		if cacheHit {
+			cm = trace.MotifCacheHit
+		}
+		cr := g.genCall(m.Cache.Method, server, at, depth+1, budget, tid, spanID, opts, false, cm)
+		nodes += cr.nodes
+		if cr.rct > slowest {
+			slowest = cr.rct
+		}
+		dispatched++
+	}
+	if !cacheHit && depth < opts.MaxDepth && *budget > 0 {
 		fan := m.SampleFanOut(rng)
 		if fan > *budget {
 			fan = *budget
 		}
-		var slowest time.Duration
 		for i := 0; i < fan && *budget > 0; i++ {
 			child := m.PickCallee(rng)
-			cr := g.genCall(child, server, at, depth+1, budget, tid, spanID, opts, false)
+			cr := g.genChild(child, server, at, depth+1, budget, tid, spanID, opts)
 			nodes += cr.nodes
 			if cr.rct > slowest {
 				slowest = cr.rct
 			}
 		}
-		childTime = slowest + time.Duration(fan)*childDispatch
+		dispatched += fan
+	}
+	// Cross-datacenter replication: synchronous replica writes fan out to
+	// the method's other home datacenters, each acked before the call
+	// completes (so the farthest replica gates the parent).
+	if m.Replicas > 0 && depth < opts.MaxDepth && *budget > 0 {
+		for r := 0; r < m.Replicas && *budget > 0; r++ {
+			rct := g.genReplica(m, server, at, depth+1, budget, tid, spanID, opts)
+			nodes++
+			if rct > slowest {
+				slowest = rct
+			}
+			dispatched++
+		}
+	}
+	var childTime time.Duration
+	if dispatched > 0 {
+		childTime = slowest + time.Duration(dispatched)*childDispatch
 	}
 	app := appTarget
 	if childTime > app {
@@ -372,6 +518,8 @@ func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Durati
 		CPUCycles:     appCPU + tax,
 		CPUByCategory: byCat,
 		Err:           code,
+		Tier:          m.Tier,
+		Motif:         motif,
 	}
 
 	// Hedging: some calls are issued twice; when the loser's
@@ -400,13 +548,203 @@ func (g *Generator) genCall(m *fleet.Method, client *sim.Cluster, at time.Durati
 	}
 
 	rct := b.Total()
+	if sharedE != nil {
+		sharedE.span = span
+		if len(sharedE.extra) > 0 {
+			span.LinkedParents = sharedE.extra
+		}
+		if sharedE.links > 0 {
+			span.Motif = trace.MotifFanIn
+		}
+	}
 	if opts.Observe != nil && (opts.Materialize || isRoot) {
-		opts.Observe(CallObservation{
+		obs := CallObservation{
 			Span: span, Method: m, Server: server, Client: client, Exo: exo,
 			Descendants: nodes - 1, Ancestors: depth,
-		})
+		}
+		if sharedE != nil && !isRoot {
+			// Held back: later callers may still add in-edges; Call
+			// flushes the pending observations once the graph is done.
+			g.pending = append(g.pending, obs)
+		} else {
+			opts.Observe(obs)
+		}
 	}
 	return callResult{rct: rct, nodes: nodes}
+}
+
+// genChild dispatches one nested call, applying the edge-level motifs:
+// fan-in reuse of shared dependencies and sidecar proxy hops. Plain
+// children fall through to genCall directly, drawing exactly the same
+// randomness as the pre-DAG generator.
+func (g *Generator) genChild(child *fleet.Method, client *sim.Cluster, at time.Duration, depth int, budget *int, tid trace.TraceID, parent trace.SpanID, opts *CallOptions) callResult {
+	// Fan-in: a shared dependency already reached in this graph gains an
+	// extra in-edge instead of a fresh subtree. The shared result is
+	// consumed concurrently, so the edge adds no nodes and no wait.
+	if child.SharedDep {
+		if e := g.shared[child]; e != nil {
+			if e.hasEdge(parent) {
+				// Repeated call from the same parent: the edge exists.
+				return callResult{}
+			}
+			e.links++
+			g.fanInEdges++
+			if e.links == 1 {
+				g.sharedNodes++
+				if e.motif != trace.MotifNone {
+					g.motifCount[e.motif]--
+				}
+				g.motifCount[trace.MotifFanIn]++
+			}
+			if e.span != nil {
+				e.span.LinkedParents = append(e.span.LinkedParents, parent)
+				e.span.Motif = trace.MotifFanIn
+			} else {
+				e.extra = append(e.extra, parent)
+			}
+			return callResult{}
+		}
+	}
+	// Sidecar: the call is routed through a service-mesh proxy hop.
+	if child.SidecarProb > 0 && *budget > 1 && g.rng.Bool(child.SidecarProb) {
+		return g.genSidecar(child, client, at, depth, budget, tid, parent, opts)
+	}
+	return g.genCall(child, client, at, depth, budget, tid, parent, opts, false, trace.MotifNone)
+}
+
+// genSidecar interposes a mesh proxy span between parent and child: the
+// proxy runs beside the caller, forwards the request, and waits out the
+// proxied call, so its response time dominates the child's.
+func (g *Generator) genSidecar(m *fleet.Method, client *sim.Cluster, at time.Duration, depth int, budget *int, tid trace.TraceID, parent trace.SpanID, opts *CallOptions) callResult {
+	rng := g.rng
+	*budget--
+	g.noteNode(depth)
+	g.motifCount[trace.MotifSidecar]++
+	sidecarID := g.newSpanID()
+	cr := g.genCall(m, client, at, depth+1, budget, tid, sidecarID, opts, false, trace.MotifNone)
+
+	exo := client.Exo.At(at)
+	req, resp := m.SampleSizes(rng)
+	// Loopback hop: tiny fixed stack and wire costs plus a light queue on
+	// the proxy, with the proxied call riding inside the handler time.
+	var b trace.Breakdown
+	b[trace.ServerApp] = cr.rct + 20*time.Microsecond
+	b[trace.ClientSendQueue] = 2 * time.Microsecond
+	b[trace.ServerRecvQueue] = sim.QueueWait(rng, 10*time.Microsecond, exo.CPUUtil*0.5, exo)
+	b[trace.ServerSendQueue] = 2 * time.Microsecond
+	b[trace.ClientRecvQueue] = 2 * time.Microsecond
+	b[trace.ReqProcStack] = time.Duration(3000 + float64(req)*perByteStack*0.2)
+	b[trace.RespProcStack] = time.Duration(3000 + float64(resp)*perByteStack*0.2)
+	b[trace.ReqNetworkWire] = time.Microsecond
+	b[trace.RespNetworkWire] = time.Microsecond
+
+	// Proxy CPU in the catalog's normalized cycle units (method cost
+	// floor ~0.016): a forwarding hop burns roughly half a minimal
+	// handler plus a per-byte copy term, all RPC-stack work.
+	proxyCPU := 0.008 + 1e-6*float64(req+resp)
+	g.Prof.Record(m.Service.Name, m.Service.Name+"/sidecar", gwp.Networking, proxyCPU)
+
+	span := &trace.Span{
+		TraceID:       tid,
+		SpanID:        sidecarID,
+		ParentID:      parent,
+		Method:        m.Service.Name + "/sidecar",
+		Service:       m.Service.Name,
+		ClientCluster: client.Name,
+		ServerCluster: client.Name,
+		Start:         at,
+		Breakdown:     b,
+		RequestBytes:  req,
+		ResponseBytes: resp,
+		CPUCycles:     proxyCPU,
+		Tier:          trace.TierStateless,
+		Motif:         trace.MotifSidecar,
+	}
+	span.CPUByCategory[gwp.Networking] = proxyCPU
+	if opts.Observe != nil && opts.Materialize {
+		opts.Observe(CallObservation{
+			Span: span, Method: m, Server: client, Client: client, Exo: exo,
+			Descendants: cr.nodes, Ancestors: depth,
+		})
+	}
+	return callResult{rct: b.Total(), nodes: cr.nodes + 1}
+}
+
+// genReplica generates one synchronous cross-datacenter replica write:
+// the serving cluster forwards the request to another of the method's
+// home datacenters and waits for a small ack.
+func (g *Generator) genReplica(m *fleet.Method, primary *sim.Cluster, at time.Duration, depth int, budget *int, tid trace.TraceID, parent trace.SpanID, opts *CallOptions) time.Duration {
+	rng := g.rng
+	*budget--
+	g.noteNode(depth)
+	g.motifCount[trace.MotifReplica]++
+
+	target := g.Topo.Clusters[m.HomeClusters[rng.Intn(len(m.HomeClusters))]]
+	if target == primary {
+		for _, h := range m.HomeClusters {
+			if c := g.Topo.Clusters[h]; c != primary {
+				target = c
+				break
+			}
+		}
+	}
+	exo := target.Exo.At(at)
+	req, _ := m.SampleSizes(rng)
+	resp := int64(64) // replica ack
+	app := time.Duration(float64(m.SampleAppTime(rng)) * 0.5 * target.SpeedFactor * exo.SlowdownFactor())
+
+	var b trace.Breakdown
+	b[trace.ServerApp] = app
+	b[trace.ClientSendQueue] = sim.QueueWait(rng, 20*time.Microsecond, primary.Exo.At(at).CPUUtil*0.6, primary.Exo.At(at))
+	b[trace.ServerRecvQueue] = sim.QueueWait(rng, 30*time.Microsecond, exo.CPUUtil, exo)
+	b[trace.ServerSendQueue] = sim.QueueWait(rng, 30*time.Microsecond, exo.CPUUtil*0.5, exo)
+	b[trace.ClientRecvQueue] = 2 * time.Microsecond
+	b[trace.ReqProcStack] = time.Duration((m.StackBase.Sample(rng) + float64(req)*perByteStack) * exo.SlowdownFactor())
+	b[trace.RespProcStack] = time.Duration(m.StackBase.Sample(rng) * 0.5)
+	netUtil := 0.2 + 0.6*exo.CPUUtil
+	b[trace.ReqNetworkWire] = g.Topo.WireOneWay(rng, primary, target, req, netUtil)
+	b[trace.RespNetworkWire] = g.Topo.WireOneWay(rng, target, primary, resp, netUtil)
+
+	appCPU := m.CPUCost.Sample(rng) * 0.5
+	g.Prof.Record(m.Service.Name, m.Name, gwp.Application, appCPU)
+
+	span := &trace.Span{
+		TraceID:       tid,
+		SpanID:        g.newSpanID(),
+		ParentID:      parent,
+		Method:        m.Name,
+		Service:       m.Service.Name,
+		ClientCluster: primary.Name,
+		ServerCluster: target.Name,
+		Start:         at,
+		Breakdown:     b,
+		RequestBytes:  req,
+		ResponseBytes: resp,
+		CPUCycles:     appCPU,
+		Tier:          m.Tier,
+		Motif:         trace.MotifReplica,
+	}
+	span.CPUByCategory[gwp.Application] = appCPU
+	if opts.Observe != nil && opts.Materialize {
+		opts.Observe(CallObservation{
+			Span: span, Method: m, Server: target, Client: primary, Exo: exo,
+			Descendants: 0, Ancestors: depth,
+		})
+	}
+	return b.Total()
+}
+
+// cacheHitFor decides a cache-aside branch as a pure hash of the call's
+// identity — no RNG draw — so the same (seed, trace, span) always takes
+// the same branch and graph shapes replay exactly.
+func cacheHitFor(tid trace.TraceID, id trace.SpanID, rate float64) bool {
+	x := uint64(tid) ^ uint64(id)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < rate
 }
 
 // HedgedCancellation generates a standalone cancelled duplicate for a

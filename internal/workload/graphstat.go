@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"rpcscale/internal/trace"
+)
+
+// GraphStat summarizes the shape of one generated (or reconstructed)
+// call graph: the raw material of the graph-shape figures (size CCDF,
+// depth-vs-width joint distribution, motif frequency). It is a plain
+// value — integer counts only — so accumulating GraphStats is invariant
+// to shard routing and fold order, which is what keeps the streaming and
+// materialized reports byte-identical.
+type GraphStat struct {
+	// Root is the graph's entry method.
+	Root string
+	// Spans is the number of nodes in the graph (shared dependencies
+	// count once however many parents reach them).
+	Spans int
+	// Depth is the height of the primary-parent spanning tree.
+	Depth int
+	// Width is the maximum node count at any single primary depth.
+	Width int
+	// FanInEdges counts in-edges beyond the spanning tree (0 for trees).
+	FanInEdges int
+	// SharedNodes counts nodes with more than one parent.
+	SharedNodes int
+	// Motifs counts nodes by motif kind (index trace.Motif; index 0 is
+	// unused — plain calls are Spans minus the rest).
+	Motifs [trace.NumMotifs]uint32
+}
+
+// GraphStatOf summarizes a reconstructed trace.Graph — the dump-replay
+// counterpart of the generator's in-flight accounting.
+func GraphStatOf(g *trace.Graph) GraphStat {
+	st := GraphStat{
+		Spans:       g.Spans,
+		Depth:       g.Depth(),
+		Width:       g.Width(),
+		FanInEdges:  g.FanInEdges(),
+		SharedNodes: g.SharedNodes(),
+	}
+	if g.Root != nil {
+		st.Root = g.Root.Span.Method
+	}
+	for _, n := range g.Nodes {
+		if m := n.Span.Motif; m != trace.MotifNone && int(m) < trace.NumMotifs {
+			st.Motifs[m]++
+		}
+	}
+	return st
+}

@@ -47,6 +47,16 @@ func DatasetFromSpans(spans []*trace.Span) *Dataset {
 		}
 	}
 	ds.Profile = prof.Snapshot()
+	// Graph shapes: rebuild DAGs (primary spanning tree plus linked-parent
+	// in-edges) and summarize each multi-span graph. Isolated spans are
+	// stratified/volume samples in disguise, not one-node graphs, so they
+	// are excluded to keep the size CCDF meaningful.
+	for _, gr := range trace.BuildGraphs(spans) {
+		if gr.Spans < 2 {
+			continue
+		}
+		ds.GraphStats = append(ds.GraphStats, GraphStatOf(gr))
+	}
 	ds.Trees = trace.BuildTrees(spans)
 	for _, tr := range ds.Trees {
 		if tr.Spans < 2 {

@@ -35,6 +35,11 @@ type SpanSink interface {
 	// TreeShape receives the (descendants, ancestors) counts of one call
 	// observation — the raw material of the Fig. 5/6 shape analysis.
 	TreeShape(method string, descendants, ancestors int)
+	// GraphShape receives the whole-graph summary of one root call: node
+	// count, depth/width of the primary spanning tree, fan-in edges, and
+	// per-motif node counts. Emitted once per stratified and materialized
+	// root (volume roots are depth-truncated and carry no graph shape).
+	GraphShape(g GraphStat)
 	// ExoSample receives a studied-method span paired with the exogenous
 	// state of its serving cluster at call time (Fig. 17/18).
 	ExoSample(method string, s *trace.Span, exo sim.Exo)
@@ -49,6 +54,7 @@ type datasetSink struct {
 	desc        map[string]*stats.Sample
 	anc         map[string]*stats.Sample
 	exo         map[string][]ExoObservation
+	graphs      []GraphStat
 }
 
 func newDatasetSink() *datasetSink {
@@ -86,6 +92,8 @@ func (d *datasetSink) TreeShape(method string, descendants, ancestors int) {
 	as.Add(float64(ancestors))
 }
 
+func (d *datasetSink) GraphShape(g GraphStat) { d.graphs = append(d.graphs, g) }
+
 func (d *datasetSink) ExoSample(method string, s *trace.Span, exo sim.Exo) {
 	//rpclint:ignore sinkobserve datasetSink is the retention sink: buffering spans into the Dataset is its contract
 	d.exo[method] = append(d.exo[method], ExoObservation{Span: s, Exo: exo})
@@ -118,6 +126,12 @@ func (t teeSink) TreeShape(method string, descendants, ancestors int) {
 	}
 }
 
+func (t teeSink) GraphShape(g GraphStat) {
+	for _, sk := range t {
+		sk.GraphShape(g)
+	}
+}
+
 func (t teeSink) ExoSample(method string, s *trace.Span, exo sim.Exo) {
 	for _, sk := range t {
 		sk.ExoSample(method, s, exo)
@@ -132,4 +146,5 @@ func (nopSink) MethodSpan(*trace.Span)                 {}
 func (nopSink) VolumeSpan(*trace.Span)                 {}
 func (nopSink) TreeSpan(*trace.Span)                   {}
 func (nopSink) TreeShape(string, int, int)             {}
+func (nopSink) GraphShape(GraphStat)                   {}
 func (nopSink) ExoSample(string, *trace.Span, sim.Exo) {}
