@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"rpcscale/internal/analysis"
+)
+
+// A baseline mutes known findings so a repository can gate new code on
+// rpclint before paying down existing debt. Entries match on file,
+// analyzer, and message — not line numbers, which drift with every
+// unrelated edit. The file is line-oriented and diff-friendly:
+//
+//	<file>\t<analyzer>\t<message>
+//
+// with '#' comments and blank lines ignored. A finding matching an
+// entry is dropped; each entry mutes every finding it matches (the
+// same message can legitimately recur in one file).
+
+type baseline struct {
+	entries map[string]bool
+}
+
+// baselineKey is the identity a finding is matched on.
+func baselineKey(file, analyzer, message string) string {
+	return file + "\t" + analyzer + "\t" + message
+}
+
+// loadBaseline reads and parses a baseline file.
+func loadBaseline(path string) (*baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	defer f.Close()
+	b := &baseline{entries: make(map[string]bool)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" || strings.HasPrefix(strings.TrimSpace(line), "#") {
+			continue
+		}
+		if strings.Count(line, "\t") < 2 {
+			return nil, fmt.Errorf("baseline: %s:%d: want <file>\\t<analyzer>\\t<message>", path, n)
+		}
+		b.entries[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return b, nil
+}
+
+// filter drops the findings recorded in the baseline.
+func (b *baseline) filter(findings []analysis.Finding) []analysis.Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		if !b.entries[baselineKey(f.File, f.Analyzer, f.Message)] {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// saveBaseline writes the current findings as a baseline, deduplicated
+// and sorted for stable diffs.
+func saveBaseline(path string, findings []analysis.Finding) error {
+	seen := make(map[string]bool, len(findings))
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		k := baselineKey(f.File, f.Analyzer, f.Message)
+		if !seen[k] {
+			seen[k] = true
+			lines = append(lines, k)
+		}
+	}
+	sort.Strings(lines)
+	var sb strings.Builder
+	sb.WriteString("# rpclint baseline: known findings muted by -baseline.\n")
+	sb.WriteString("# Format: <file>\\t<analyzer>\\t<message>. Regenerate with -write-baseline.\n")
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rpcscale/internal/analysis"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []analysis.Finding{
+		{File: "a.go", Line: 10, Analyzer: "bufown", Message: "leaked"},
+		{File: "a.go", Line: 22, Analyzer: "bufown", Message: "leaked"}, // same key, different line
+		{File: "b.go", Line: 3, Analyzer: "lockorder", Message: "cycle"},
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := saveBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(base.entries); got != 2 {
+		t.Fatalf("baseline has %d entries, want 2 (dedup by file/analyzer/message)", got)
+	}
+
+	// Every recorded finding is muted, including the same message at a
+	// drifted line; a new finding survives.
+	fresh := analysis.Finding{File: "c.go", Line: 1, Analyzer: "goroleak", Message: "leak"}
+	kept := base.filter(append(append([]analysis.Finding(nil), findings...), fresh))
+	if len(kept) != 1 || kept[0] != fresh {
+		t.Fatalf("filter kept %v, want only the fresh finding", kept)
+	}
+}
+
+func TestLoadBaselineRejectsMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.baseline")
+	if err := saveBaseline(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	base, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.entries) != 0 {
+		t.Fatalf("empty baseline has %d entries", len(base.entries))
+	}
+
+	bad := filepath.Join(t.TempDir(), "malformed.baseline")
+	if err := os.WriteFile(bad, []byte("a.go only-one-tab\there\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil || !strings.Contains(err.Error(), "want <file>") {
+		t.Fatalf("malformed line not rejected: %v", err)
+	}
+}

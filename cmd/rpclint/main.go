@@ -1,7 +1,8 @@
 // Command rpclint machine-enforces the repository's determinism,
-// locking, and error-code invariants: the five analyzers of
+// locking, ownership, and error-code invariants: the analyzers of
 // internal/analysis (wallclock, rngsource, lockheld, statuserr,
-// sinkobserve) over any package pattern.
+// sinkobserve, plus the interprocedural bufown, goroleak, and lockorder)
+// over any package pattern.
 //
 // Standalone:
 //
@@ -9,7 +10,8 @@
 //	rpclint -json ./...    # machine-readable [{file,line,col,analyzer,message}]
 //
 // As a go vet tool (the unitchecker protocol: -V=full, -flags, and
-// per-package .cfg invocations):
+// per-package .cfg invocations; the interprocedural analyzers degrade
+// to single-package view there):
 //
 //	go vet -vettool=$(which rpclint) ./...
 //
@@ -17,6 +19,12 @@
 // the line above:
 //
 //	//rpclint:ignore <analyzer> <reason>
+//
+// A baseline file (standalone mode) mutes known findings so new code is
+// gated without first paying down existing debt:
+//
+//	rpclint -write-baseline -baseline lint.baseline ./...  # record current findings
+//	rpclint -baseline lint.baseline ./...                  # report only new ones
 package main
 
 import (
@@ -31,13 +39,16 @@ import (
 
 // version participates in the go command's tool-ID cache key (-V=full);
 // bump it when analyzer behavior changes so cached vet verdicts refresh.
-const version = "rpclint version 1.0.0"
+const version = "rpclint version 2.0.0"
 
 var (
 	jsonOut  = flag.Bool("json", false, "emit findings as JSON")
 	tests    = flag.Bool("tests", false, "also analyze in-package _test.go files (standalone mode)")
 	vFlag    = flag.String("V", "", "print version and exit (go vet protocol)")
 	flagsOut = flag.Bool("flags", false, "print flag schema as JSON and exit (go vet protocol)")
+
+	baselinePath  = flag.String("baseline", "", "suppress findings recorded in this baseline file (standalone mode)")
+	writeBaseline = flag.Bool("write-baseline", false, "write current findings to -baseline instead of reporting them")
 )
 
 func init() {
@@ -53,6 +64,14 @@ func init() {
 		"comma-separated method names treated as RPC dispatch by lockheld")
 	flag.Var(analysis.SinkObserveMethods, "sinkobserve.methods",
 		"comma-separated accumulator method names checked for argument retention")
+	flag.Var(analysis.BufownAcquireFuncs, "bufown.acquire",
+		"comma-separated pkg.Func/pkg.Type.Method entries that hand out owned pooled buffers")
+	flag.Var(analysis.BufownReleaseFuncs, "bufown.release",
+		"comma-separated pkg.Func/pkg.Type.Method entries that release pooled buffers")
+	flag.Var(analysis.BufownAliasFuncs, "bufown.alias",
+		"comma-separated pkg.Func/pkg.Type.Method entries whose result aliases their first argument")
+	flag.Var(analysis.GoroleakExitCalls, "goroleak.exitcalls",
+		"comma-separated callee names that bound a goroutine loop from outside")
 }
 
 func main() {
@@ -84,6 +103,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpclint:", err)
 		os.Exit(1)
+	}
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "rpclint: -write-baseline requires -baseline <file>")
+			os.Exit(1)
+		}
+		if err := saveBaseline(*baselinePath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "rpclint:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "rpclint: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return
+	}
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpclint:", err)
+			os.Exit(1)
+		}
+		findings = base.filter(findings)
 	}
 	emit(findings, *jsonOut)
 	if len(findings) > 0 {

@@ -1,5 +1,5 @@
 // Package analysis is rpclint: a small static-analysis framework plus
-// the five analyzers that machine-enforce this repository's correctness
+// the eight analyzers that machine-enforce this repository's correctness
 // invariants — the properties that make every figure of the reproduction
 // credible but that no compiler checks:
 //
@@ -18,6 +18,23 @@
 //     every failure.
 //   - sinkobserve: streaming accumulator observe methods must not retain
 //     their argument, protecting the 0 allocs/op observe path.
+//   - bufown: pooled buffers (wire.GetBuf and friends) must be released,
+//     returned, or handed off on every path — use-after-release,
+//     double-release, leaks, and undocumented escapes into fields or
+//     goroutines are flagged, with //rpclint:owns and //rpclint:transfers
+//     making sanctioned transfers machine-checked (DESIGN.md §15).
+//   - goroleak: a `go` statement must not spawn a condition-less loop
+//     with no shutdown edge; such goroutines outlive their spawner and
+//     accumulate under churn.
+//   - lockorder: the module-wide mutex acquisition graph must be
+//     acyclic — opposite-order acquisitions of two lock classes are a
+//     latent deadlock even when no test hits the interleaving.
+//
+// The first five are single-package syntactic/type-based checks; the
+// last three are interprocedural, building per-function summaries
+// (ownership, lock sets) across the whole module. Under `go vet
+// -vettool` the interprocedural analyzers degrade gracefully to the
+// one-package-at-a-time view the unitchecker protocol provides.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is hand-rolled on go/ast and go/types:
@@ -62,6 +79,35 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Mod shares cross-package state (function index, ownership and lock
+	// summaries) between the passes of one RunAnalyzers invocation. The
+	// dataflow analyzers (bufown, goroleak, lockorder) resolve callees and
+	// summaries through it; under `go vet -vettool` the module holds a
+	// single package and they degrade to intra-package precision plus the
+	// seeded seam tables.
+	Mod *Module
+}
+
+// Module returns the shared module state, building a single-package one
+// on demand so a Pass constructed by hand (tests) still works.
+func (p *Pass) Module() *Module {
+	if p.Mod == nil {
+		p.Mod = &Module{Pkgs: []*Package{{
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Types:     p.Pkg,
+			TypesInfo: p.TypesInfo,
+			PkgPath:   pkgPathOf(p.Pkg),
+		}}}
+	}
+	return p.Mod
+}
+
+func pkgPathOf(p *types.Package) string {
+	if p == nil {
+		return ""
+	}
+	return p.Path()
 }
 
 // Reportf reports a diagnostic at pos.
@@ -83,6 +129,9 @@ func Analyzers() []*Analyzer {
 		LockheldAnalyzer,
 		StatuserrAnalyzer,
 		SinkobserveAnalyzer,
+		BufownAnalyzer,
+		GoroleakAnalyzer,
+		LockorderAnalyzer,
 	}
 }
 
@@ -133,6 +182,80 @@ func (p *PackageList) Match(path string) bool {
 		}
 	}
 	return false
+}
+
+// FuncList is a flag-settable list of function patterns. An entry is
+// "pkg.Func" or "pkg.Type.Method", where pkg matches an import path by
+// equality or path-segment suffix ("wire.GetBuf" matches both
+// "rpcscale/internal/wire" and a fixture package named "wire"), and the
+// receiver type is matched with pointers unwrapped.
+type FuncList struct {
+	entries []string
+}
+
+// NewFuncList builds a list from its default entries.
+func NewFuncList(entries ...string) *FuncList {
+	return &FuncList{entries: entries}
+}
+
+// String implements flag.Value.
+func (l *FuncList) String() string {
+	if l == nil {
+		return ""
+	}
+	return strings.Join(l.entries, ",")
+}
+
+// Set implements flag.Value: a comma-separated list replaces the default.
+func (l *FuncList) Set(s string) error {
+	l.entries = nil
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			l.entries = append(l.entries, e)
+		}
+	}
+	return nil
+}
+
+// Match reports whether fn matches any entry.
+func (l *FuncList) Match(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	pkg := funcPkgPath(fn)
+	recv := recvTypeName(fn)
+	for _, e := range l.entries {
+		parts := strings.Split(e, ".")
+		var ePkg, eRecv, eName string
+		switch len(parts) {
+		case 2:
+			ePkg, eName = parts[0], parts[1]
+		case 3:
+			ePkg, eRecv, eName = parts[0], parts[1], parts[2]
+		default:
+			continue
+		}
+		if eName != fn.Name() || eRecv != recv {
+			continue
+		}
+		if pkg == ePkg || strings.HasSuffix(pkg, "/"+ePkg) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvTypeName returns the name of fn's receiver type (pointers
+// unwrapped), or "" for package-level functions.
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n := namedOrPointee(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
 }
 
 // StringSet is a flag-settable set of names.

@@ -50,13 +50,16 @@ type expectation struct {
 // want expectations through t.
 func Run(t *testing.T, testdata string, analyzers []*analysis.Analyzer, patterns ...string) {
 	t.Helper()
-	loader, err := analysis.NewLoader(filepath.Join(testdata, "src"))
+	loader, err := analysis.NewSourceLoader(filepath.Join(testdata, "src"))
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		t.Fatalf("analysistest: load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: patterns %v matched no fixture packages under %s", patterns, testdata)
 	}
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {

@@ -53,6 +53,30 @@ func TestSinkobserve(t *testing.T) {
 		"sinkobserve")
 }
 
+// TestBufown covers the ownership dataflow: leak/use-after-release/
+// double-release true positives, the //rpclint:owns and
+// //rpclint:transfers vocabulary (including a malformed directive),
+// inferred alias and release summaries, and suppression placement. The
+// fixture's bufown/wire package matches the default wire.* seeds by
+// path-segment suffix, so no flag overrides are needed.
+func TestBufown(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{analysis.BufownAnalyzer},
+		"bufown")
+}
+
+func TestGoroleak(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{analysis.GoroleakAnalyzer},
+		"goroleak")
+}
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(),
+		[]*analysis.Analyzer{analysis.LockorderAnalyzer},
+		"lockorder")
+}
+
 // TestSuppression runs the full suite over the suppress fixture: justified
 // directives (line-above, same-line, other-analyzer, "all") silence their
 // findings, while reason-less and analyzer-less directives suppress

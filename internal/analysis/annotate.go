@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ownership annotations make the buffer hand-off contract of DESIGN.md
+// §11/§12 machine-checkable. Two directives, placed in doc comments:
+//
+//	//rpclint:owns [note]
+//
+// on a function: its first result is a pooled buffer the caller now
+// owns (release it, return it, or hand it off). On a struct field: the
+// field is the documented owner of a pooled buffer, so storing an owned
+// buffer into it is a sanctioned transfer, not an escape.
+//
+//	//rpclint:transfers <param[,param...]> [note]
+//
+// on a function: ownership of the named []byte parameters moves to the
+// callee (it releases them or stores them under a documented owner);
+// callers must not flag the hand-off as a leak.
+const (
+	ownsPrefix      = "rpclint:owns"
+	transfersPrefix = "rpclint:transfers"
+)
+
+// annotations is the module-wide view of the ownership vocabulary.
+type annotations struct {
+	ownsResult map[*types.Func]bool
+	transfers  map[*types.Func]map[int]bool
+	fieldOwns  map[types.Object]bool
+	reports    []moduleReport // malformed directives
+}
+
+// cutDirective strips "//" and the given prefix from a comment, with the
+// same tolerance for a leading space as rpclint:ignore. It only matches
+// the exact directive word: "rpclint:ownship" is not "rpclint:owns".
+func cutDirective(c *ast.Comment, prefix string) (string, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return "", false
+	}
+	text, ok = strings.CutPrefix(strings.TrimPrefix(text, " "), prefix)
+	if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+		return "", false
+	}
+	return strings.TrimSpace(text), true
+}
+
+// parseAnnotations scans every doc comment in the module for ownership
+// directives. Unknown parameter names and directives on the wrong kind
+// of declaration are reported rather than silently ignored: a typo in a
+// transfer annotation must not silently unannotate a seam.
+func parseAnnotations(m *Module) *annotations {
+	ann := &annotations{
+		ownsResult: make(map[*types.Func]bool),
+		transfers:  make(map[*types.Func]map[int]bool),
+		fieldOwns:  make(map[types.Object]bool),
+	}
+	for _, pkg := range m.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.FuncDecl:
+					ann.funcDirectives(pkg, d)
+				case *ast.StructType:
+					ann.fieldDirectives(pkg, d)
+				}
+				return true
+			})
+		}
+	}
+	return ann
+}
+
+func (a *annotations) funcDirectives(pkg *Package, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	fn, _ := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+	for _, c := range fd.Doc.List {
+		if _, ok := cutDirective(c, ownsPrefix); ok {
+			if fn != nil {
+				a.ownsResult[fn] = true
+			}
+			continue
+		}
+		args, ok := cutDirective(c, transfersPrefix)
+		if !ok {
+			continue
+		}
+		names := strings.Fields(args)
+		if len(names) == 0 {
+			a.reports = append(a.reports, moduleReport{pkg, Diagnostic{
+				Pos:     c.Pos(),
+				Message: "rpclint:transfers names no parameter; write //rpclint:transfers <param[,param...]>",
+			}})
+			continue
+		}
+		for _, name := range strings.Split(names[0], ",") {
+			if name == "" {
+				continue
+			}
+			idx := paramIndex(fn, name)
+			if idx < 0 {
+				a.reports = append(a.reports, moduleReport{pkg, Diagnostic{
+					Pos:     c.Pos(),
+					Message: "rpclint:transfers names unknown parameter " + name,
+				}})
+				continue
+			}
+			if fn != nil {
+				if a.transfers[fn] == nil {
+					a.transfers[fn] = make(map[int]bool)
+				}
+				a.transfers[fn][idx] = true
+			}
+		}
+	}
+}
+
+func (a *annotations) fieldDirectives(pkg *Package, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if _, ok := cutDirective(c, ownsPrefix); !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.TypesInfo.Defs[name]; obj != nil {
+						a.fieldOwns[obj] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// paramIndex resolves a parameter name to its index in fn's signature,
+// or -1.
+func paramIndex(fn *types.Func, name string) int {
+	if fn == nil {
+		return -1
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -70,6 +70,23 @@ func NewLoader(dir string) (*Loader, error) {
 	if root == "" {
 		root, modPath = abs, ""
 	}
+	return newLoader(root, modPath)
+}
+
+// NewSourceLoader builds a loader that treats dir itself as a
+// GOPATH-style source root, skipping module discovery. Fixture roots
+// (testdata/src) live inside the repository, where NewLoader's ancestor
+// walk would find the enclosing module's go.mod and resolve every
+// pattern against the wrong root.
+func NewSourceLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return newLoader(abs, "")
+}
+
+func newLoader(root, modPath string) (*Loader, error) {
 	fset := token.NewFileSet()
 	// The source importer type-checks GOROOT packages from source; with
 	// cgo disabled it selects the pure-Go files, which is all the

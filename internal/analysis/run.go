@@ -24,6 +24,7 @@ func (f Finding) String() string {
 // sorted by position.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 	var findings []Finding
+	mod := &Module{Pkgs: pkgs}
 	for _, pkg := range pkgs {
 		var pkgFindings []Finding
 		for _, a := range analyzers {
@@ -33,6 +34,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Mod:       mod,
 			}
 			pass.Report = func(d Diagnostic) {
 				p := pkg.Fset.Position(d.Pos)

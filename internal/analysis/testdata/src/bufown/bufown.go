@@ -1,0 +1,156 @@
+// Package bufown exercises the buffer-ownership analyzer: leaks,
+// use-after-release, double-release, undocumented escapes to fields and
+// goroutines, the //rpclint:owns and //rpclint:transfers vocabulary,
+// and the inferred alias/release summaries.
+package bufown
+
+import "bufown/wire"
+
+// Leak: acquired, appended into, never released or handed off.
+func Leak() int {
+	buf := wire.GetBuf(64) // want `bufown: pooled buffer from wire\.GetBuf is never released, returned, or handed off`
+	buf = append(buf, 1)
+	return len(buf)
+}
+
+// Released on every path: clean.
+func RoundTrip() {
+	buf := wire.GetBuf(64)
+	buf = append(buf, 2)
+	wire.PutBuf(buf)
+}
+
+// Returning the buffer hands it to the caller: clean.
+func Handout() []byte {
+	buf := wire.GetBuf(64)
+	return append(buf, 3)
+}
+
+func UseAfterPut() byte {
+	buf := wire.GetBuf(64)
+	buf = append(buf, 7)
+	wire.PutBuf(buf)
+	return buf[0] // want `bufown: use of buf after wire\.PutBuf released it at line \d+`
+}
+
+func DoublePut() {
+	buf := wire.GetBuf(64)
+	wire.PutBuf(buf)
+	wire.PutBuf(buf) // want `bufown: buf released twice: already passed to wire\.PutBuf at line \d+`
+}
+
+// A release inside one branch does not poison the fall-through path.
+func ConditionalRelease(fail bool) []byte {
+	buf := wire.GetBuf(64)
+	if fail {
+		wire.PutBuf(buf)
+		return nil
+	}
+	return buf
+}
+
+type holder struct {
+	data []byte
+	//rpclint:owns documented pooled payload; released by put()
+	owned []byte
+}
+
+func (h *holder) put() {
+	wire.PutBuf(h.owned)
+	h.owned = nil
+}
+
+func StoreUnannotated(h *holder) {
+	h.data = wire.GetBuf(32) // want `bufown: pooled buffer stored in field data without //rpclint:owns`
+}
+
+// Annotated field: the store is a sanctioned transfer.
+func StoreAnnotated(h *holder) {
+	h.owned = wire.GetBuf(32)
+}
+
+// Composite literals check fields the same way.
+func Composite() *holder {
+	return &holder{owned: wire.GetBuf(8)}
+}
+
+// NewToken's annotation makes its result owned at every call site.
+//
+//rpclint:owns the caller must recycle the token
+func NewToken() []byte {
+	return append(wire.GetBuf(16), 0xA5)
+}
+
+func LeakFromAnnotated() int {
+	tok := NewToken() // want `bufown: pooled buffer from bufown\.NewToken is never released, returned, or handed off`
+	return len(tok)
+}
+
+func RecycleFromAnnotated() {
+	tok := NewToken()
+	wire.PutBuf(tok)
+}
+
+// consumeAsync declares the hand-off, so spawning it with an owned
+// buffer is a documented transfer.
+//
+//rpclint:transfers buf the spawned consumer recycles it
+func consumeAsync(buf []byte) {
+	wire.PutBuf(buf)
+}
+
+func plainSink(buf []byte) { _ = len(buf) }
+
+func HandoffDocumented() {
+	buf := wire.GetBuf(64)
+	go consumeAsync(buf)
+}
+
+func HandoffUndocumented() {
+	buf := wire.GetBuf(64)
+	go plainSink(buf) // want `bufown: pooled buffer passed to goroutine bufown\.plainSink without //rpclint:transfers on the parameter`
+}
+
+func CaptureUndocumented() {
+	buf := wire.GetBuf(64)
+	go func() {
+		_ = buf // want `bufown: pooled buffer buf captured by spawned goroutine without a documented transfer`
+	}()
+}
+
+// seal's alias-through shape (every return rooted at dst) is inferred,
+// so ownership flows from buf to out and the release is seen.
+func seal(dst []byte) []byte {
+	return append(dst, 0xAA)
+}
+
+func AliasThrough() {
+	buf := wire.GetBuf(16)
+	out := seal(buf)
+	wire.PutBuf(out)
+}
+
+// recycle's unconditional release is inferred, making it a hard release
+// point at its call sites.
+func recycle(b []byte) {
+	wire.PutBuf(b)
+}
+
+func UseAfterHelperRelease() byte {
+	buf := wire.GetBuf(16)
+	recycle(buf)
+	return buf[0] // want `bufown: use of buf after bufown\.recycle released it at line \d+`
+}
+
+// A justified suppression on the flagged line mutes the finding.
+func SuppressedLeak() int {
+	buf := wire.GetBuf(8) //rpclint:ignore bufown fixture demonstrates a deliberately leaked buffer
+	return cap(buf)
+}
+
+// A malformed transfers directive is reported, not silently dropped.
+//
+//rpclint:transfers data // want `bufown: rpclint:transfers names unknown parameter data`
+func renamedParam(payload []byte) {
+	wire.PutBuf(payload)
+}

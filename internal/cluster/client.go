@@ -106,8 +106,9 @@ func RunClient(cfg ChildConfig) error {
 
 	stop := make(chan struct{})
 	var stopOnce sync.Once
+	waitDrain := armDrainSignal()
 	go func() {
-		waitForDrainSignal()
+		waitDrain()
 		stopOnce.Do(func() { close(stop) })
 	}()
 

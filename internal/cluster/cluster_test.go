@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rpcscale/internal/leakcheck"
 )
 
 // TestMain lets the supervisor re-execute this test binary as a cluster
@@ -31,6 +33,7 @@ func testBin(t *testing.T) string {
 // environment and checks the run fails with the child's exit code
 // surfaced (satellite: a crashing child must fail the run).
 func TestSupervisorPropagatesChildFailure(t *testing.T) {
+	leakcheck.Check(t)
 	p, err := Spawn("broken", testBin(t), nil, []string{
 		envRole + "=client",
 		envDuration + "=bogus", // unparseable → child exits 2
@@ -53,6 +56,7 @@ func TestSupervisorPropagatesChildFailure(t *testing.T) {
 
 // TestSupervisorUnknownRole checks the role-dispatch failure path (exit 1).
 func TestSupervisorUnknownRole(t *testing.T) {
+	leakcheck.Check(t)
 	p, err := Spawn("mystery", testBin(t), nil, []string{envRole + "=gateway"})
 	if err != nil {
 		t.Fatal(err)
@@ -67,6 +71,7 @@ func TestSupervisorUnknownRole(t *testing.T) {
 // handshake, and drains it via Stop (SIGTERM + stdin close), expecting a
 // clean exit with a RESULT line.
 func TestServerReadyAndDrain(t *testing.T) {
+	leakcheck.Check(t)
 	p, err := Spawn("server-0", testBin(t), nil, []string{
 		envRole + "=server",
 		envSeed + "=7",
@@ -98,6 +103,7 @@ func TestServerReadyAndDrain(t *testing.T) {
 // spawn, READY, control RPC sampling, client RESULT merge, drain — and
 // that the report carries real traffic.
 func TestClusterEndToEnd(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("spawns processes and drives ~1s of traffic")
 	}

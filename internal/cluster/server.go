@@ -82,9 +82,10 @@ func RunServer(cfg ChildConfig) error {
 	}
 	go srv.Serve(l)
 
+	wait := armDrainSignal()
 	fmt.Printf("%saddr=%s\n", readyPrefix, l.Addr())
 
-	waitForDrainSignal()
+	wait()
 
 	// Drain: stop accepting, let in-flight handlers finish.
 	srv.Close()
@@ -96,13 +97,16 @@ func RunServer(cfg ChildConfig) error {
 	return nil
 }
 
-// waitForDrainSignal blocks until the process receives SIGTERM/SIGINT or
-// its stdin reaches EOF (the parent died or closed the pipe) — the two
-// shutdown paths of the child protocol.
-func waitForDrainSignal() {
+// armDrainSignal installs the child's two shutdown paths — SIGTERM/SIGINT
+// and stdin EOF (the parent died or closed the pipe) — and returns a
+// function that blocks until one fires. Arming is split from waiting so a
+// child can subscribe before announcing READY: otherwise a parent that
+// reacts to READY with an immediate Stop can deliver SIGTERM while the
+// default handler is still in place, killing the child instead of
+// draining it.
+func armDrainSignal() (wait func()) {
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
-	defer signal.Stop(sigCh)
 
 	eof := make(chan struct{})
 	go func() {
@@ -110,8 +114,15 @@ func waitForDrainSignal() {
 		close(eof)
 	}()
 
-	select {
-	case <-sigCh:
-	case <-eof:
+	// The subscription stays armed for the life of the process — never
+	// signal.Stop: the parent's Stop closes stdin and sends SIGTERM
+	// together, and dropping the last registration restores the default
+	// disposition, so a SIGTERM landing just after the EOF-triggered
+	// return would kill the draining child instead of being absorbed.
+	return func() {
+		select {
+		case <-sigCh:
+		case <-eof:
+		}
 	}
 }

@@ -99,18 +99,33 @@ func (p *Profiler) Record(service, method string, cat Category, cycles float64) 
 // regardless of map iteration order. Generation shards record into
 // private profilers and merge them in shard-index order, which keeps
 // floating-point accumulation identical from run to run.
+//
+// other is snapshotted under its own lock before p's lock is taken, so
+// the two Profiler locks are never held together: concurrent
+// a.Merge(b) and b.Merge(a) cannot deadlock on crossed acquisition.
 func (p *Profiler) Merge(other *Profiler) {
-	if other == nil {
+	if other == nil || other == p {
 		return
 	}
 	other.mu.Lock()
-	defer other.mu.Unlock()
+	byCat := other.byCat
+	bySvc := make(map[string]*ServiceProfile, len(other.bySvc))
+	for name, osp := range other.bySvc {
+		cp := *osp
+		bySvc[name] = &cp
+	}
+	byMethod := make(map[string]float64, len(other.byMethod))
+	for m, v := range other.byMethod {
+		byMethod[m] = v
+	}
+	other.mu.Unlock()
+
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for c, v := range other.byCat {
+	for c, v := range byCat {
 		p.byCat[c] += v
 	}
-	for name, osp := range other.bySvc {
+	for name, osp := range bySvc {
 		sp := p.bySvc[name]
 		if sp == nil {
 			sp = &ServiceProfile{Service: name}
@@ -120,7 +135,7 @@ func (p *Profiler) Merge(other *Profiler) {
 			sp.ByCat[c] += v
 		}
 	}
-	for m, v := range other.byMethod {
+	for m, v := range byMethod {
 		p.byMethod[m] += v
 	}
 }

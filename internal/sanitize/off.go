@@ -1,0 +1,14 @@
+//go:build !sanitize
+
+package sanitize
+
+// Enabled reports whether sanitizer shims are compiled in. It is a
+// constant so that `if sanitize.Enabled { ... }` guards are eliminated
+// entirely in normal builds.
+const Enabled = false
+
+// LockAcquired records nothing in normal builds.
+func LockAcquired(rank int, class string) {}
+
+// LockReleased records nothing in normal builds.
+func LockReleased(rank int) {}

@@ -1,0 +1,79 @@
+//go:build sanitize
+
+package sanitize
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Enabled reports whether sanitizer shims are compiled in.
+const Enabled = true
+
+type heldLock struct {
+	rank  int
+	class string
+}
+
+var (
+	mu   sync.Mutex
+	held = make(map[uint64][]heldLock) // goroutine id -> lock stack
+)
+
+// LockAcquired pushes an instrumented lock onto the calling goroutine's
+// stack, panicking if its rank does not exceed the innermost held rank:
+// that acquisition order, run against a goroutine taking the same two
+// classes the other way, deadlocks. Call it immediately after Lock.
+func LockAcquired(rank int, class string) {
+	g := goid()
+	mu.Lock()
+	stack := held[g]
+	if n := len(stack); n > 0 && stack[n-1].rank >= rank {
+		top := stack[n-1]
+		mu.Unlock()
+		panic(fmt.Sprintf(
+			"sanitize: lock rank inversion: acquiring %s (rank %d) while holding %s (rank %d); see the rank order in internal/sanitize",
+			class, rank, top.class, top.rank))
+	}
+	held[g] = append(stack, heldLock{rank: rank, class: class})
+	mu.Unlock()
+}
+
+// LockReleased pops the innermost held lock of the given rank. Call it
+// immediately before Unlock. Out-of-order (non-LIFO) release is legal,
+// matching sync.Mutex.
+func LockReleased(rank int) {
+	g := goid()
+	mu.Lock()
+	stack := held[g]
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].rank == rank {
+			stack = append(stack[:i], stack[i+1:]...)
+			break
+		}
+	}
+	if len(stack) == 0 {
+		delete(held, g)
+	} else {
+		held[g] = stack
+	}
+	mu.Unlock()
+}
+
+// goid parses the current goroutine's id from the first line of its
+// stack trace ("goroutine N [running]:"). Slow, which is fine: this
+// code only exists under the sanitize tag.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[len("goroutine "):n]
+	var id uint64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

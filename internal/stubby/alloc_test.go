@@ -15,8 +15,8 @@ import (
 // call; the budget below is under half that, with headroom over the
 // current ~20 so incidental runtime changes don't flake.
 func TestCallAllocBudget(t *testing.T) {
-	if testutil.RaceEnabled {
-		t.Skip("allocation counts differ under the race detector")
+	if testutil.Instrumented {
+		t.Skip("allocation counts differ under instrumented builds")
 	}
 	const budget = 35.0
 	ch, _ := testSetup(t, Options{Workers: 2}, map[string]Handler{"svc/Echo": echoHandler})

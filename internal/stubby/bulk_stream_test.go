@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"rpcscale/internal/leakcheck"
 	"rpcscale/internal/secure"
 	"rpcscale/internal/testutil"
 	"rpcscale/internal/trace"
@@ -19,6 +20,7 @@ import (
 // connected channel.
 func bidiSetup(t *testing.T, opts Options, method string, h BidiHandler) *Channel {
 	t.Helper()
+	leakcheck.Check(t)
 	srv := NewServer(opts)
 	srv.RegisterBidi(method, h)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -40,6 +42,7 @@ func bidiSetup(t *testing.T, opts Options, method string, h BidiHandler) *Channe
 // echoSetup starts a unary echo server and returns a connected channel.
 func echoSetup(t *testing.T, opts Options) *Channel {
 	t.Helper()
+	leakcheck.Check(t)
 	srv := NewServer(opts)
 	srv.Register("bulk/Echo", func(ctx context.Context, p []byte) ([]byte, error) {
 		return p, nil
@@ -522,8 +525,8 @@ func FuzzStreamControlParsers(f *testing.F) {
 // race detector inflates allocation counts, so the floor only runs on
 // normal builds.
 func TestBulkUnaryAllocFloor(t *testing.T) {
-	if testutil.RaceEnabled {
-		t.Skip("allocation floors are meaningless under the race detector")
+	if testutil.Instrumented {
+		t.Skip("allocation floors are meaningless under instrumented builds")
 	}
 	ch := echoSetup(t, Options{Workers: 4})
 	payload := patternPayload(16 << 10)
@@ -548,8 +551,8 @@ func TestBulkUnaryAllocFloor(t *testing.T) {
 // acceptance target: a 100-item stream must stay at or under 100
 // allocations per full stream.
 func TestStreamAllocFloor(t *testing.T) {
-	if testutil.RaceEnabled {
-		t.Skip("allocation floors are meaningless under the race detector")
+	if testutil.Instrumented {
+		t.Skip("allocation floors are meaningless under instrumented builds")
 	}
 	const items = 100
 	ch := bidiSetup(t, Options{Workers: 4}, "svc/Items", func(ctx context.Context, st *Stream) error {

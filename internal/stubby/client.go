@@ -99,6 +99,8 @@ type callResult struct {
 // FrameBulkResponse, the payload as chunk frames on the same stream ID.
 type clientBulk struct {
 	resp response
+	//rpclint:owns pooled chunk assembly; handed to the caller via
+	// deliverBulk, who releases it with FreeResponse.
 	data []byte
 }
 

@@ -264,8 +264,12 @@ func (s *Server) Serve(l net.Listener) error {
 // serverBulk assembles one bulk-lane request: the envelope arrives as a
 // FrameBulkRequest, the payload as chunk frames on the same stream ID.
 type serverBulk struct {
-	env       []byte // pooled request envelope
-	data      []byte // pooled payload assembly
+	//rpclint:owns pooled request envelope; released by assembleBulk on
+	// hand-off or by readLoop teardown.
+	env []byte
+	//rpclint:owns pooled payload assembly; ownership moves to
+	// serverCall.bulkData when the last chunk lands.
+	data      []byte
 	readStart time.Time
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"rpcscale/internal/sanitize"
 	"rpcscale/internal/trace"
 	"rpcscale/internal/wire"
 )
@@ -55,20 +56,23 @@ type Stream struct {
 	// Inbound side. The connection's read loop appends assembled messages
 	// to inq and never blocks on a slow consumer — queued bytes are
 	// bounded by the credit window, which is only replenished on Recv.
-	recvMu    sync.Mutex
-	inq       []inboundMsg
-	inqHead   int
-	term      error // terminal status; nil with termSet means clean EOF
-	termSet   bool
-	dead      bool   // fully torn down: late deliveries are dropped
-	asm       []byte // partial-message assembly (pooled)
-	asmStatus bool   // the message being assembled is a status envelope
+	recvMu  sync.Mutex
+	inq     []inboundMsg
+	inqHead int
+	term    error // terminal status; nil with termSet means clean EOF
+	termSet bool
+	dead    bool // fully torn down: late deliveries are dropped
+	//rpclint:owns partial-message assembly; released by deliver on the
+	// final chunk (moves into inq) or by teardown.
+	asm       []byte
+	asmStatus bool // the message being assembled is a status envelope
 
 	notify chan struct{} // capacity 1: wake for Recv
 
 	// cur is the pooled buffer handed out by the last Recv; released on
 	// the next Recv or Close by the receiving goroutine itself, so a
 	// remote teardown can never recycle bytes the application still reads.
+	//rpclint:owns
 	cur []byte
 
 	// grantBuf is scratch for WINDOW_UPDATE payloads (receiver goroutine).
@@ -76,6 +80,22 @@ type Stream struct {
 
 	done     chan struct{}
 	doneOnce sync.Once
+}
+
+// lockRecv and unlockRecv wrap recvMu with the sanitize rank checker;
+// every acquisition of the inbound-side lock goes through them.
+func (s *Stream) lockRecv() {
+	s.recvMu.Lock()
+	if sanitize.Enabled {
+		sanitize.LockAcquired(sanitize.RankStreamRecv, "stubby.Stream.recvMu")
+	}
+}
+
+func (s *Stream) unlockRecv() {
+	if sanitize.Enabled {
+		sanitize.LockReleased(sanitize.RankStreamRecv)
+	}
+	s.recvMu.Unlock()
 }
 
 // inboundMsg is one fully assembled inbound message and the credit its
@@ -193,6 +213,10 @@ func (s *Stream) Send(msg []byte) error {
 	}
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
+	if sanitize.Enabled {
+		sanitize.LockAcquired(sanitize.RankStreamSend, "stubby.Stream.sendMu")
+		defer sanitize.LockReleased(sanitize.RankStreamSend)
+	}
 	if s.sendClosed {
 		return Errorf(trace.InvalidArgument, "send on closed stream")
 	}
@@ -210,6 +234,10 @@ func (s *Stream) Send(msg []byte) error {
 func (s *Stream) CloseSend() error {
 	s.sendMu.Lock()
 	defer s.sendMu.Unlock()
+	if sanitize.Enabled {
+		sanitize.LockAcquired(sanitize.RankStreamSend, "stubby.Stream.sendMu")
+		defer sanitize.LockReleased(sanitize.RankStreamSend)
+	}
 	if s.sendClosed {
 		return nil
 	}
@@ -237,7 +265,7 @@ func (s *Stream) Recv() ([]byte, error) {
 		s.cur = nil
 	}
 	for {
-		s.recvMu.Lock()
+		s.lockRecv()
 		if s.inqHead < len(s.inq) {
 			m := s.inq[s.inqHead]
 			s.inq[s.inqHead] = inboundMsg{}
@@ -245,7 +273,7 @@ func (s *Stream) Recv() ([]byte, error) {
 			if s.inqHead == len(s.inq) {
 				s.inq, s.inqHead = s.inq[:0], 0
 			}
-			s.recvMu.Unlock()
+			s.unlockRecv()
 			s.cur = m.data
 			// The application consumed the message: grant its charge back
 			// so the sender can proceed.
@@ -254,14 +282,14 @@ func (s *Stream) Recv() ([]byte, error) {
 		}
 		if s.termSet {
 			term := s.term
-			s.recvMu.Unlock()
+			s.unlockRecv()
 			if term == nil {
 				return nil, io.EOF
 			}
 			return nil, term
 		}
 		ch := s.notify
-		s.recvMu.Unlock()
+		s.unlockRecv()
 		<-ch
 	}
 }
@@ -297,7 +325,7 @@ func (s *Stream) Context() context.Context { return s.ctx }
 func (s *Stream) terminate(err error, notifyPeer bool) {
 	s.doneOnce.Do(func() {
 		close(s.done)
-		s.recvMu.Lock()
+		s.lockRecv()
 		if !s.termSet {
 			s.termSet, s.term = true, err
 		}
@@ -314,7 +342,7 @@ func (s *Stream) terminate(err error, notifyPeer bool) {
 		// cancel is read under recvMu: on the server it is installed by a
 		// worker (handleBidi) that may race a reset from the read loop.
 		cancel := s.cancel
-		s.recvMu.Unlock()
+		s.unlockRecv()
 		s.sendWin.kill(err)
 		if cancel != nil {
 			cancel()
@@ -351,9 +379,9 @@ func (s *Stream) finished() bool {
 // the credit window bounds how far a slow consumer can fall behind, so a
 // stalled stream cannot head-of-line-block the connection.
 func (s *Stream) deliverChunk(flags byte, data []byte) {
-	s.recvMu.Lock()
+	s.lockRecv()
 	if s.dead {
-		s.recvMu.Unlock()
+		s.unlockRecv()
 		wire.PutBuf(data)
 		return
 	}
@@ -392,7 +420,7 @@ func (s *Stream) deliverChunk(flags byte, data []byte) {
 	if flags&chunkEndStream != 0 && !s.termSet {
 		s.termSet = true // term stays nil: clean end of direction
 	}
-	s.recvMu.Unlock()
+	s.unlockRecv()
 	select {
 	case s.notify <- struct{}{}:
 	default:
@@ -486,14 +514,14 @@ func (s *Server) handleBidi(call *serverCall) {
 	// Install the handler context under recvMu so a concurrent terminate
 	// (reset racing the open decode) observes it; if the stream already
 	// died, cancel here since terminate could not.
-	st.recvMu.Lock()
+	st.lockRecv()
 	if req.Deadline > 0 {
 		st.ctx, st.cancel = context.WithTimeout(ctx, req.Deadline)
 	} else {
 		st.ctx, st.cancel = context.WithCancel(ctx)
 	}
 	cancel, dead := st.cancel, st.dead
-	st.recvMu.Unlock()
+	st.unlockRecv()
 	if dead {
 		cancel()
 		return

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"rpcscale/internal/compressor"
+	"rpcscale/internal/leakcheck"
 	"rpcscale/internal/trace"
 )
 
@@ -18,6 +19,7 @@ import (
 // t.Cleanup.
 func testSetup(t *testing.T, opts Options, handlers map[string]Handler) (*Channel, *Server) {
 	t.Helper()
+	leakcheck.Check(t)
 	srv := NewServer(opts)
 	for m, h := range handlers {
 		srv.Register(m, h)

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"rpcscale/internal/sanitize"
 	"rpcscale/internal/secure"
 	"rpcscale/internal/wire"
 )
@@ -92,9 +93,21 @@ func newTransport(conn net.Conn, psk []byte, dirSend, dirRecv string, stats *sec
 }
 
 // lockSend acquires the send lock for a batching sequence of appendLocked
-// calls ending in flushLocked; unlockSend releases it.
-func (t *transport) lockSend()   { t.sendMu.Lock() }
-func (t *transport) unlockSend() { t.sendMu.Unlock() }
+// calls ending in flushLocked; unlockSend releases it. Under the sanitize
+// tag they also track the lock's rank for inversion checking.
+func (t *transport) lockSend() {
+	t.sendMu.Lock()
+	if sanitize.Enabled {
+		sanitize.LockAcquired(sanitize.RankTransportSend, "stubby.transport.sendMu")
+	}
+}
+
+func (t *transport) unlockSend() {
+	if sanitize.Enabled {
+		sanitize.LockReleased(sanitize.RankTransportSend)
+	}
+	t.sendMu.Unlock()
+}
 
 // appendLocked seals payload directly into the write buffer as one frame,
 // without flushing. Caller must hold the send lock.
@@ -157,8 +170,8 @@ func (t *transport) flushLocked() error {
 // send encrypts payload and writes one frame with a single Write. Safe
 // for concurrent use.
 func (t *transport) send(frameType byte, streamID uint64, payload []byte) error {
-	t.sendMu.Lock()
-	defer t.sendMu.Unlock()
+	t.lockSend()
+	defer t.unlockSend()
 	if err := t.appendLocked(frameType, streamID, payload); err != nil {
 		return err
 	}
@@ -169,8 +182,8 @@ func (t *transport) send(frameType byte, streamID uint64, payload []byte) error 
 // the last carrying chunkEndMsg|endFlags) and flushes with one vectored
 // write. Safe for concurrent use.
 func (t *transport) sendChunks(streamID uint64, data []byte, endFlags byte) error {
-	t.sendMu.Lock()
-	defer t.sendMu.Unlock()
+	t.lockSend()
+	defer t.unlockSend()
 	if err := t.appendChunkedLocked(streamID, data, endFlags); err != nil {
 		return err
 	}
@@ -179,8 +192,8 @@ func (t *transport) sendChunks(streamID uint64, data []byte, endFlags byte) erro
 
 // sendHalfClose emits the bare end-of-direction marker (no message).
 func (t *transport) sendHalfClose(streamID uint64) error {
-	t.sendMu.Lock()
-	defer t.sendMu.Unlock()
+	t.lockSend()
+	defer t.unlockSend()
 	if err := t.appendChunkLocked(streamID, chunkEndStream, nil); err != nil {
 		return err
 	}
@@ -206,7 +219,9 @@ type recvMsg struct {
 	typ      byte
 	streamID uint64
 	flags    byte
-	plain    []byte
+	//rpclint:owns decrypted payload; the recv caller releases it with
+	// wire.PutBuf or hands it onward (DESIGN.md §11).
+	plain []byte
 }
 
 // recv reads and decrypts the next frame. Only one goroutine may call
@@ -214,6 +229,10 @@ type recvMsg struct {
 func (t *transport) recv() (recvMsg, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
+	if sanitize.Enabled {
+		sanitize.LockAcquired(sanitize.RankTransportRecv, "stubby.transport.recvMu")
+		defer sanitize.LockReleased(sanitize.RankTransportRecv)
+	}
 	//rpclint:ignore lockheld recvMu serializes reads of the shared frame reader; holding it across the read is the point
 	f, err := t.reader.ReadFrame()
 	if err != nil {

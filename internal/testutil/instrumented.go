@@ -1,0 +1,9 @@
+package testutil
+
+import "rpcscale/internal/sanitize"
+
+// Instrumented reports whether runtime instrumentation that perturbs
+// allocation behavior is compiled in: the race detector or the sanitize
+// shims (-tags sanitize). Allocation-floor tests skip under either —
+// the floors assert the production build, not the instrumented one.
+const Instrumented = RaceEnabled || sanitize.Enabled

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+
+	"rpcscale/internal/sanitize"
 )
 
 // Each size class keeps a mutex-guarded stack of free buffers in a fixed
@@ -21,6 +23,22 @@ type bufClass struct {
 	mu   sync.Mutex
 	n    int // free[:n] are available
 	free [poolDepth][]byte
+}
+
+// lock and unlock wrap mu with the sanitize rank checker: the pool
+// mutex is a leaf (rank RankBufPool) — nothing may be acquired under it.
+func (p *bufClass) lock() {
+	p.mu.Lock()
+	if sanitize.Enabled {
+		sanitize.LockAcquired(sanitize.RankBufPool, "wire.bufPools")
+	}
+}
+
+func (p *bufClass) unlock() {
+	if sanitize.Enabled {
+		sanitize.LockReleased(sanitize.RankBufPool)
+	}
+	p.mu.Unlock()
 }
 
 // depth returns the retention limit for class cls.
@@ -79,15 +97,16 @@ func GetBuf(n int) []byte {
 		cls = bits.Len(uint(n-1)) - minPoolClass // ceil(log2 n) - min
 	}
 	p := &bufPools[cls]
-	p.mu.Lock()
+	p.lock()
 	if p.n > 0 {
 		p.n--
 		b := p.free[p.n]
 		p.free[p.n] = nil
-		p.mu.Unlock()
+		p.unlock()
+		poisonGet(b)
 		return b
 	}
-	p.mu.Unlock()
+	p.unlock()
 	return make([]byte, 0, 1<<(cls+minPoolClass))
 }
 
@@ -105,11 +124,13 @@ func PutBuf(b []byte) {
 		return
 	}
 	cls := bits.Len(uint(c)) - 1 - minPoolClass // floor(log2 cap) - min
+	poisonCheckPut(b)
 	p := &bufPools[cls]
-	p.mu.Lock()
+	p.lock()
 	if p.n < depth(cls) {
+		poisonRetain(b)
 		p.free[p.n] = b[:0]
 		p.n++
 	}
-	p.mu.Unlock()
+	p.unlock()
 }

@@ -65,8 +65,8 @@ func TestWriterCoalescesBatchIntoOneWrite(t *testing.T) {
 }
 
 func TestWriterSingleFrameAllocBudget(t *testing.T) {
-	if testutil.RaceEnabled {
-		t.Skip("allocation counts differ under the race detector")
+	if testutil.Instrumented {
+		t.Skip("allocation counts differ under instrumented builds")
 	}
 	w := NewWriter(io.Discard)
 	payload := make([]byte, 1024)

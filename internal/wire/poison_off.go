@@ -1,0 +1,10 @@
+//go:build !sanitize
+
+package wire
+
+// Pool poisoning hooks; no-ops unless built with -tags sanitize.
+// See poison_on.go for what each hook asserts.
+
+func poisonCheckPut(b []byte) {}
+func poisonRetain(b []byte)   {}
+func poisonGet(b []byte)      {}

@@ -1,0 +1,72 @@
+//go:build sanitize
+
+package wire
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Under the sanitize tag the pool poisons every buffer it retains:
+// PutBuf fills the full capacity with poisonByte and records the
+// backing array; GetBuf verifies the pattern is intact before handing
+// the buffer out. A caller that writes through a stale alias after
+// PutBuf — the §11 ownership bug class — corrupts the poison and turns
+// a silent cross-request data leak into an immediate panic at the next
+// Get, and a double PutBuf panics at the second Put instead of handing
+// one buffer to two owners. Only buffers actually sitting in the free
+// lists are tracked (they are strongly referenced, so their addresses
+// are stable); buffers the pool declines are dropped untracked to the
+// GC, avoiding false positives when an address is reused.
+
+const poisonByte = 0xDB
+
+var (
+	poisonMu sync.Mutex
+	poisoned = make(map[*byte]bool) // backing array of each free-list buffer
+)
+
+// poisonKey identifies a buffer by the address of its first backing
+// byte; pooled buffers always have non-zero capacity.
+func poisonKey(b []byte) *byte { return &b[:1][0] }
+
+// poisonCheckPut panics if b is already sitting in a free list: a
+// second PutBuf would queue the same buffer twice and hand it to two
+// different callers.
+func poisonCheckPut(b []byte) {
+	poisonMu.Lock()
+	dup := poisoned[poisonKey(b)]
+	poisonMu.Unlock()
+	if dup {
+		panic("wire: PutBuf called twice on the same buffer; it is already in the pool")
+	}
+}
+
+// poisonRetain fills b's full capacity with the poison pattern and
+// tracks it. Called with the buffer's class lock held, just before it
+// is filed into the free list.
+func poisonRetain(b []byte) {
+	p := b[:cap(b)]
+	for i := range p {
+		p[i] = poisonByte
+	}
+	poisonMu.Lock()
+	poisoned[poisonKey(b)] = true
+	poisonMu.Unlock()
+}
+
+// poisonGet untracks b and verifies the poison laid down by
+// poisonRetain survived its stay in the pool.
+func poisonGet(b []byte) {
+	poisonMu.Lock()
+	delete(poisoned, poisonKey(b))
+	poisonMu.Unlock()
+	p := b[:cap(b)]
+	for i, c := range p {
+		if c != poisonByte {
+			panic(fmt.Sprintf(
+				"wire: pooled buffer written after PutBuf (byte %d of %d is %#02x, want %#02x); a caller kept a live alias into the pool",
+				i, len(p), c, poisonByte))
+		}
+	}
+}

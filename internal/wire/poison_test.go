@@ -1,0 +1,61 @@
+//go:build sanitize
+
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// mustPanic runs f and returns the recovered panic message, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, f func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		f()
+		t.Fatal("expected panic, got none")
+	}()
+	return msg
+}
+
+// TestPoisonCatchesUseAfterPut seeds the §11 ownership bug the bufown
+// analyzer hunts statically: a caller keeps an alias into a buffer it
+// already returned and writes through it. The poisoned pool must turn
+// that silent cross-request corruption into a panic at the next Get.
+func TestPoisonCatchesUseAfterPut(t *testing.T) {
+	b := GetBuf(600)
+	b = append(b, make([]byte, 600)...)
+	PutBuf(b)
+	b[17] = 0x42 // stale-alias write after the pool took the buffer back
+
+	msg := mustPanic(t, func() {
+		// The class free list is LIFO, so this Get returns the buffer
+		// just recycled and must find its poison corrupted.
+		GetBuf(600)
+	})
+	if !strings.Contains(msg, "written after PutBuf") {
+		t.Fatalf("panic message = %q, want use-after-Put report", msg)
+	}
+}
+
+// TestPoisonCatchesDoublePut returns one buffer twice; the second Put
+// must panic instead of queueing the buffer for two future owners.
+func TestPoisonCatchesDoublePut(t *testing.T) {
+	b := GetBuf(600)
+	PutBuf(b)
+	defer func() {
+		// Leave the pool consistent for later tests: the buffer is
+		// still (legitimately) in the free list once.
+		_ = GetBuf(600)
+	}()
+	msg := mustPanic(t, func() { PutBuf(b) })
+	if !strings.Contains(msg, "twice") {
+		t.Fatalf("panic message = %q, want double-Put report", msg)
+	}
+}
