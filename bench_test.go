@@ -495,6 +495,83 @@ func BenchmarkStubbyUnary(b *testing.B) {
 	}
 }
 
+// BenchmarkStubbyUnaryParallel is the client fan-in variant: RunParallel
+// drives concurrent callers over one channel, so a `-cpu 1,2,4` sweep
+// shows how envelope-lane throughput scales with cores once the codec
+// pool and batch writer overlap seal work with the syscall path.
+func BenchmarkStubbyUnaryParallel(b *testing.B) {
+	for _, size := range []int{128, 16 * 1024} {
+		b.Run(byteLabel(size), func(b *testing.B) {
+			opts := stubby.Options{Workers: 8}
+			srv := stubby.NewServer(opts)
+			srv.Register("bench/Echo", func(ctx context.Context, p []byte) ([]byte, error) {
+				return p, nil
+			})
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			defer srv.Close()
+			ch, err := stubby.Dial(l.Addr().String(), "bench", opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ch.Close()
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := ch.Call(context.Background(), "bench/Echo", payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStubbyBulkUnaryStriped is the connection-striping variant of
+// the bulk download bench: the channel opens 2 TCP connections and
+// round-robins bulk calls across them (DESIGN.md §16), so the `-cpu`
+// sweep exposes whether a second stripe buys throughput once one
+// connection's seal/open work saturates a core.
+func BenchmarkStubbyBulkUnaryStriped(b *testing.B) {
+	const size = 256 * 1024
+	opts := stubby.Options{Workers: 8, ConnStripes: 2}
+	srv := stubby.NewServer(opts)
+	blob := make([]byte, size)
+	srv.Register("bench/Get", func(ctx context.Context, p []byte) ([]byte, error) {
+		return blob, nil
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	ch, err := stubby.Dial(l.Addr().String(), "bench", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ch.Close()
+	req := make([]byte, 16)
+	b.SetBytes(size)
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			out, err := ch.Call(context.Background(), "bench/Get", req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stubby.FreeResponse(out)
+		}
+	})
+}
+
 func byteLabel(n int) string {
 	switch {
 	case n >= 1024:

@@ -113,21 +113,29 @@ type seriesSpec struct {
 }
 
 // trackedSeries are the scalar metrics the bench job records in
-// BENCH_stubby.json release-over-release: bulk-lane 16 KiB throughput and
-// the allocation count of a 100-item stream (see ROADMAP targets).
+// BENCH_stubby.json release-over-release: data-plane throughput across the
+// unary, bulk, and stream lanes, small-payload latency, and the allocation
+// count of a 100-item stream (see ROADMAP targets).
 var trackedSeries = []seriesSpec{
+	{series: "unary_128B_ns", bench: "BenchmarkStubbyUnary/128B", field: func(r Result) float64 { return r.NsOp }},
+	{series: "unary_16KiB_MBps", bench: "BenchmarkStubbyUnary/16KB", field: func(r Result) float64 { return r.MBs }},
+	{series: "stream_MBps", bench: "BenchmarkStubbyStream", field: func(r Result) float64 { return r.MBs }},
 	{series: "bulk_16KiB_MBps", bench: "BenchmarkStubbyBulkUnary/16KB", field: func(r Result) float64 { return r.MBs }},
+	{series: "bulk_256KiB_MBps", bench: "BenchmarkStubbyBulkUnary/256KB", field: func(r Result) float64 { return r.MBs }},
 	{series: "stream_allocs_per_op", bench: "BenchmarkStubbyStream100", field: func(r Result) float64 { return float64(r.AllocsOp) }},
 }
 
-// deriveSeries extracts the tracked series present in results.
+// deriveSeries extracts the tracked series present in results. Because
+// stripProcSuffix collapses a `-cpu 1,2,4` sweep into one name, the same
+// benchmark can appear several times; the last occurrence wins, which is
+// the highest GOMAXPROCS leg — the configuration the multi-core data-plane
+// targets are stated against.
 func deriveSeries(results []Result) map[string]float64 {
 	series := make(map[string]float64)
 	for _, spec := range trackedSeries {
 		for _, r := range results {
 			if r.Name == spec.bench {
 				series[spec.series] = spec.field(r)
-				break
 			}
 		}
 	}

@@ -91,6 +91,36 @@ func TestRunSeries(t *testing.T) {
 	if got := decoded.Series["stream_allocs_per_op"]; got != 69 {
 		t.Fatalf("stream_allocs_per_op = %v, want 69", got)
 	}
+	if got := decoded.Series["unary_128B_ns"]; got != 15980 {
+		t.Fatalf("unary_128B_ns = %v, want 15980", got)
+	}
+	if got := decoded.Series["unary_16KiB_MBps"]; got != 402.48 {
+		t.Fatalf("unary_16KiB_MBps = %v, want 402.48", got)
+	}
+	if got := decoded.Series["stream_MBps"]; got != 687.45 {
+		t.Fatalf("stream_MBps = %v, want 687.45", got)
+	}
+}
+
+// A -cpu 1,2,4 sweep repeats each benchmark under names that collapse to
+// one after stripProcSuffix; the series must come from the last (highest
+// GOMAXPROCS) leg.
+func TestRunSeriesCPUSweepLastWins(t *testing.T) {
+	sweep := `BenchmarkStubbyBulkUnary/16KB     	   40000	     30000 ns/op	 550.00 MB/s	    1432 B/op	      15 allocs/op
+BenchmarkStubbyBulkUnary/16KB-2   	   50000	     25000 ns/op	 700.00 MB/s	    1432 B/op	      16 allocs/op
+BenchmarkStubbyBulkUnary/16KB-4   	   60000	     16000 ns/op	 990.00 MB/s	    1432 B/op	      16 allocs/op
+`
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sweep), &out, true, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var decoded report
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got := decoded.Series["bulk_16KiB_MBps"]; got != 990.00 {
+		t.Fatalf("bulk_16KiB_MBps = %v, want the -cpu 4 leg (990)", got)
+	}
 }
 
 func TestRunClusterSeries(t *testing.T) {

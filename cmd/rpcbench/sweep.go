@@ -27,6 +27,11 @@ const sweepBudget = 32 << 20
 type sweepConfig struct {
 	Conc    int // concurrent unary callers
 	Streams int // concurrent streams per size; 0 disables the stream lane
+	// Stripes and CodecWorkers are the multi-core data-plane axes
+	// (DESIGN.md §16): TCP connections per channel, and per-connection
+	// seal/open workers (0 = auto, <0 = inline).
+	Stripes      int
+	CodecWorkers int
 }
 
 func sweepCalls(size int) int {
@@ -42,7 +47,11 @@ func sweepCalls(size int) int {
 
 // runSweep measures each lane at each payload size and prints the table.
 func runSweep(cfg sweepConfig) error {
-	opts := []rpcscale.Option{rpcscale.WithWorkers(cfg.Conc)}
+	opts := []rpcscale.Option{
+		rpcscale.WithWorkers(cfg.Conc),
+		rpcscale.WithConnStripes(cfg.Stripes),
+		rpcscale.WithCodecWorkers(cfg.CodecWorkers),
+	}
 	srv := rpcscale.NewServer(opts...)
 	srv.Register("bench.Sweep/Echo", func(ctx context.Context, p []byte) ([]byte, error) {
 		return p, nil
@@ -70,8 +79,12 @@ func runSweep(cfg sweepConfig) error {
 	}
 	defer ch.Close()
 
-	fmt.Printf("rpcbench sweep: %d unary callers, %d streams, %d MiB per cell\n\n",
-		cfg.Conc, cfg.Streams, sweepBudget>>20)
+	stripes := cfg.Stripes
+	if stripes < 1 {
+		stripes = 1
+	}
+	fmt.Printf("rpcbench sweep: %d unary callers, %d streams, %d stripe(s), %d MiB per cell\n\n",
+		cfg.Conc, cfg.Streams, stripes, sweepBudget>>20)
 	fmt.Printf("  %-10s %14s %14s", "payload", "unary MB/s", "bulk MB/s")
 	if cfg.Streams > 0 {
 		fmt.Printf(" %14s", "stream MB/s")

@@ -65,7 +65,10 @@ func RunClient(cfg ChildConfig) error {
 
 	cat := fleet.New(fleet.Config{Methods: cfg.Methods, Clusters: 4, Seed: cfg.Seed})
 	plane := telemetry.New()
-	opts := plane.Apply(stubby.Options{ClusterName: fmt.Sprintf("client-%d", cfg.ClientID)})
+	opts := plane.Apply(stubby.Options{
+		ClusterName: fmt.Sprintf("client-%d", cfg.ClientID),
+		ConnStripes: cfg.Stripes,
+	})
 
 	pools := make([]*stubby.Pool, 0, len(cfg.Servers))
 	endpoints := make([]loadbalance.Endpoint, 0, len(cfg.Servers))

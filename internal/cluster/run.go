@@ -40,6 +40,7 @@ type Config struct {
 	Seed     uint64
 	PoolSize int // channels per client-server pool
 	Workers  int // server worker goroutines (0 = stubby default)
+	Stripes  int // TCP connections per client channel (0/1 = single)
 
 	// Bin is the binary to re-execute for children; empty means
 	// os.Executable().
@@ -272,6 +273,7 @@ func runPhase(ctx context.Context, cfg Config, bin, policy string, addrs []strin
 			fmt.Sprintf("%s=%g", envTimeScale, cfg.TimeScale),
 			fmt.Sprintf("%s=%g", envBaseRate, cfg.BaseRate),
 			fmt.Sprintf("%s=%d", envPool, cfg.PoolSize),
+			fmt.Sprintf("%s=%d", envStripes, cfg.Stripes),
 		}
 		p, err := Spawn(fmt.Sprintf("client-%s-%d", policy, j), bin, nil, env)
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -20,12 +21,33 @@ import (
 // before calling them leaked.
 const grace = 2 * time.Second
 
+// registered tracks tests that already installed a guard, so a test
+// calling several setup helpers gets exactly one check — the first,
+// whose cleanup runs after every later-registered teardown. Extra
+// checks would fire while later setups' resources are still legitimately
+// open and mistake their freshly spawned goroutines for leaks.
+var (
+	regMu      sync.Mutex
+	registered = map[string]bool{}
+)
+
 // Check snapshots the live goroutines and installs a cleanup that fails
 // t if, once the test and its later-registered cleanups finish, new
 // goroutines running module code are still alive after a grace period.
+// Repeated calls from the same test are no-ops.
 func Check(t testing.TB) {
+	regMu.Lock()
+	if registered[t.Name()] {
+		regMu.Unlock()
+		return
+	}
+	registered[t.Name()] = true
+	regMu.Unlock()
 	before := snapshot()
 	t.Cleanup(func() {
+		regMu.Lock()
+		delete(registered, t.Name())
+		regMu.Unlock()
 		deadline := time.Now().Add(grace)
 		var leaked []string
 		for {

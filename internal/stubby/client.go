@@ -25,6 +25,9 @@ type Channel struct {
 	serverCluster string
 	tr            *transport
 	comp          *compressor.Compressor
+	// gate is the adaptive-compression decision state, owned by the
+	// sendLoop goroutine; nil when Options.AdaptiveCompression is off.
+	gate *compressGate
 	// epoch anchors the channel's monotonic per-call timestamps: every
 	// instrumentation point records time.Since(epoch) nanoseconds in an
 	// atomic int64 instead of boxing a *time.Time per event.
@@ -56,6 +59,16 @@ type Channel struct {
 	closeOnce sync.Once
 	err       atomic.Pointer[channelError] // error that killed the channel
 	loops     sync.WaitGroup
+
+	// Connection striping (DESIGN.md §16): when Dial opened K stripes,
+	// stripes lists them all (this channel is stripes[0]) and bulk calls
+	// and streams round-robin across them with per-call affinity. Unary
+	// envelope traffic stays on stripe 0. onFail, when set, replaces
+	// failLocal so any stripe's death condemns the whole striped channel.
+	stripes    []*Channel
+	stripeCtr  atomic.Uint32
+	stripeOnce sync.Once
+	onFail     func(error)
 }
 
 // clientCall tracks one in-flight RPC. Timestamps are nanoseconds since
@@ -110,8 +123,12 @@ func (c *Channel) sinceEpoch() int64 { return int64(time.Since(c.epoch)) + 1 }
 
 // Dial connects to addr over TCP and returns a channel. serverCluster
 // labels spans with the callee's placement (a real stack learns it from
-// the handshake).
+// the handshake). With Options.ConnStripes > 1 it opens that many
+// connections and stripes bulk calls and streams across them.
 func Dial(addr, serverCluster string, opts Options) (*Channel, error) {
+	if opts.ConnStripes > 1 {
+		return dialStriped(addr, serverCluster, opts)
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		// Status-code the failure: a refused/unroutable backend is the
@@ -121,15 +138,93 @@ func Dial(addr, serverCluster string, opts Options) (*Channel, error) {
 	return NewChannel(conn, serverCluster, opts)
 }
 
+// dialStriped opens Options.ConnStripes connections to addr and welds
+// them into one logical channel: stripes[0] (the returned channel)
+// carries all unary envelope traffic and the robustness layers; bulk
+// calls and streams round-robin across every stripe. Any stripe failure
+// fails them all — the striped channel is one logical connection.
+func dialStriped(addr, serverCluster string, opts Options) (*Channel, error) {
+	n := opts.ConnStripes
+	chans := make([]*Channel, 0, n)
+	teardown := func() {
+		for _, s := range chans {
+			s.failLocal(ErrUnavailable)
+			s.tr.close()
+			s.tr.stopCodec()
+		}
+	}
+	for i := 0; i < n; i++ {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			teardown()
+			return nil, Errorf(trace.Unavailable, "dial %s (stripe %d): %v", addr, i, err)
+		}
+		so := opts
+		if i > 0 {
+			// The robustness layers wrap the parent's invoke chain; extra
+			// stripes are pure data-plane connections.
+			so.Retry, so.Breaker = nil, nil
+		}
+		s, err := newChannelNoLoops(conn, serverCluster, so.withDefaults())
+		if err != nil {
+			teardown()
+			return nil, err
+		}
+		chans = append(chans, s)
+	}
+	parent := chans[0]
+	parent.stripes = chans
+	for _, s := range chans {
+		s.onFail = parent.stripeFail
+	}
+	for _, s := range chans {
+		s.start()
+	}
+	return parent, nil
+}
+
+// stripeFail condemns every stripe of a striped channel exactly once.
+func (c *Channel) stripeFail(err error) {
+	c.stripeOnce.Do(func() {
+		for _, s := range c.stripes {
+			s.failLocal(err)
+		}
+	})
+}
+
+// stripeFor picks the stripe one call or stream rides: unary envelope
+// traffic keeps stripe 0, bulk transfers and streams round-robin. The
+// whole call/stream stays on its stripe (per-call affinity), so frame
+// order within it is preserved.
+func (c *Channel) stripeFor(bulk bool) *Channel {
+	if !bulk || len(c.stripes) == 0 {
+		return c
+	}
+	return c.stripes[int(c.stripeCtr.Add(1))%len(c.stripes)]
+}
+
 // NewChannel builds a channel over an existing connection (e.g. net.Pipe
-// in tests).
+// in tests). Options.ConnStripes is ignored here: a channel built over
+// one existing conn cannot dial more.
 func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, error) {
-	o := opts.withDefaults()
+	c, err := newChannelNoLoops(conn, serverCluster, opts.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	c.start()
+	return c, nil
+}
+
+// newChannelNoLoops builds a channel without starting its goroutines, so
+// a striped dial can finish wiring cross-stripe state first. o must
+// already have defaults applied.
+func newChannelNoLoops(conn net.Conn, serverCluster string, o Options) (*Channel, error) {
 	tr, err := newTransport(conn, o.Secret, "c2s", "s2c", o.EncryptionStats)
 	if err != nil {
 		conn.Close()
 		return nil, Errorf(trace.Internal, "transport setup: %v", err)
 	}
+	tr.startCodec(codecWorkerCount(o.CodecWorkers), o.DataPlane)
 	c := &Channel{
 		opts:          o,
 		serverCluster: serverCluster,
@@ -140,6 +235,8 @@ func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, er
 		pending:       make(map[uint64]*clientCall),
 		closed:        make(chan struct{}),
 	}
+	c.gate = newCompressGate(o.AdaptiveCompression && o.Compression != compressor.None,
+		o.DataPlane, c.comp.Stats())
 	c.invoke = func(ctx context.Context, method string, payload []byte) ([]byte, error) {
 		return c.call(ctx, method, payload, false)
 	}
@@ -154,10 +251,14 @@ func NewChannel(conn net.Conn, serverCluster string, opts Options) (*Channel, er
 		c.breaker = NewBreaker(*o.Breaker, o.Robustness)
 		c.invoke = c.breaker.Wrap(c.invoke)
 	}
+	return c, nil
+}
+
+// start launches the channel's connection goroutines.
+func (c *Channel) start() {
 	c.loops.Add(2)
 	go c.sendLoop()
 	go c.readLoop()
-	return c, nil
 }
 
 // Call issues a unary RPC and blocks for the response, the context's
@@ -256,28 +357,31 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 		enqueuedNs: c.sinceEpoch(),
 		resultCh:   make(chan *callResult, 1),
 	}
-	streamID := c.nextStream.Add(1)
+	// Stripe affinity: the whole call — envelope, chunks, response — rides
+	// one stripe, so its frames stay ordered on one socket.
+	sc := c.stripeFor(call.bulk)
+	streamID := sc.nextStream.Add(1)
 	call.streamID = streamID
 
-	c.mu.Lock()
+	sc.mu.Lock()
 	select {
-	case <-c.closed:
-		c.mu.Unlock()
+	case <-sc.closed:
+		sc.mu.Unlock()
 		return nil, c.finish(nil, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
 	default:
 	}
-	c.pending[streamID] = call
-	c.mu.Unlock()
+	sc.pending[streamID] = call
+	sc.mu.Unlock()
 
 	// Enqueue onto the send queue; a full queue is back-pressure, so we
 	// block until space, cancellation, or channel death.
 	select {
-	case c.sendQ <- call:
+	case sc.sendQ <- call:
 	case <-ctx.Done():
-		c.abandon(streamID)
+		sc.abandon(streamID)
 		return nil, c.finish(call, method, tc, parentSpan, payload, nil, cancelCode(ctx), hedged)
-	case <-c.closed:
-		c.abandon(streamID)
+	case <-sc.closed:
+		sc.abandon(streamID)
 		return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
 	}
 
@@ -315,11 +419,11 @@ func (c *Channel) call(ctx context.Context, method string, payload []byte, hedge
 		}
 		return out, nil
 	case <-ctx.Done():
-		c.abandon(streamID)
-		_ = c.tr.send(wire.FrameCancel, streamID, nil)
+		sc.abandon(streamID)
+		_ = sc.tr.send(wire.FrameCancel, streamID, nil)
 		return nil, c.finish(call, method, tc, parentSpan, payload, nil, cancelCode(ctx), hedged)
-	case <-c.closed:
-		c.abandon(streamID)
+	case <-sc.closed:
+		sc.abandon(streamID)
 		return nil, c.finish(call, method, tc, parentSpan, payload, nil, trace.Unavailable, hedged)
 	}
 }
@@ -498,6 +602,7 @@ func (c *Channel) sendLoop() {
 	defer c.loops.Done()
 	batch := make([]*clientCall, 0, 32)
 	envs := make([][]byte, 0, 32)
+	var scr sealScratch
 	for {
 		select {
 		case call := <-c.sendQ:
@@ -513,7 +618,7 @@ func (c *Channel) sendLoop() {
 					break drain
 				}
 			}
-			c.flushBatch(batch, envs)
+			c.flushBatch(batch, envs, &scr)
 		case <-c.closed:
 			return
 		}
@@ -546,10 +651,15 @@ func (c *Channel) prepareCall(call *clientCall, batch []*clientCall, envs [][]by
 		env := appendRequest(wire.GetBuf(len(req.Method)+envelopeOverhead), req)
 		return append(batch, call), append(envs, env), size + len(env) + len(call.bulkPayload)
 	}
-	if c.opts.Compression != compressor.None && len(req.Payload) >= c.opts.CompressThreshold {
-		if compressed, err := c.comp.Compress(req.Payload); err == nil && len(compressed) < len(req.Payload) {
-			req.Payload = compressed
-			req.Compressed = true
+	if c.opts.Compression != compressor.None && len(req.Payload) >= c.opts.CompressThreshold &&
+		c.gate.shouldCompress(req.Method, req.Payload) {
+		inLen := len(req.Payload)
+		if compressed, err := c.comp.Compress(req.Payload); err == nil {
+			c.gate.observe(req.Method, inLen, len(compressed))
+			if len(compressed) < inLen {
+				req.Payload = compressed
+				req.Compressed = true
+			}
 		}
 	}
 	env := appendRequest(wire.GetBuf(len(req.Payload)+len(req.Method)+envelopeOverhead), req)
@@ -562,8 +672,12 @@ func (c *Channel) prepareCall(call *clientCall, batch []*clientCall, envs [][]by
 }
 
 // flushBatch seals every prepared envelope into the transport's write
-// buffer and flushes them with a single write.
-func (c *Channel) flushBatch(batch []*clientCall, envs [][]byte) {
+// buffer and flushes them with a single write. With a codec pool
+// attached, large bulk payloads are sealed concurrently by the workers
+// while this goroutine appends the inline frames; harvesting jobs in
+// submission order under the send lock keeps the envelope-before-chunks
+// frame order the bulk protocol requires.
+func (c *Channel) flushBatch(batch []*clientCall, envs [][]byte, scr *sealScratch) {
 	if len(batch) == 0 {
 		return
 	}
@@ -574,32 +688,66 @@ func (c *Channel) flushBatch(batch []*clientCall, envs [][]byte) {
 		}
 	}
 	c.mu.Unlock()
+
+	p := c.tr.codec
+	pipelined := false
+	if p != nil {
+		scr.jobs, scr.n = scr.jobs[:0], scr.n[:0]
+		if p.enter() {
+			pipelined = true
+			for _, call := range batch {
+				k := 0
+				if call != nil && call.bulk && len(call.bulkPayload) > codecInlineMax {
+					before := len(scr.jobs)
+					scr.jobs = p.submitSealChunks(scr.jobs, call.streamID, call.bulkPayload, 0)
+					k = len(scr.jobs) - before
+				}
+				scr.n = append(scr.n, k)
+			}
+		}
+	}
+
 	c.tr.lockSend()
 	var err error
+	ji := 0
 	for i, call := range batch {
+		var k int
+		if pipelined {
+			k = scr.n[i]
+		}
 		if call == nil {
-			continue
+			continue // abandoned calls submitted no jobs (k is 0)
 		}
 		if call.bulk {
 			// Envelope first, then the payload chunks on the same stream —
 			// all in this batch's single vectored write. Bulk-unary chunks
 			// are exempt from stream credit: the response bounds them.
-			if err = c.tr.appendLocked(wire.FrameBulkRequest, call.streamID, envs[i]); err != nil {
-				break
+			if err == nil {
+				err = c.tr.appendLocked(wire.FrameBulkRequest, call.streamID, envs[i])
 			}
-			if err = c.tr.appendChunkedLocked(call.streamID, call.bulkPayload, 0); err != nil {
-				break
+			if k > 0 {
+				// Jobs must be harvested even after an error so their
+				// buffers return to the pool.
+				if herr := c.tr.appendSealedLocked(call.streamID, scr.jobs[ji:ji+k], err != nil); err == nil {
+					err = herr
+				}
+				ji += k
+			} else if err == nil {
+				err = c.tr.appendChunkedLocked(call.streamID, call.bulkPayload, 0)
 			}
 			continue
 		}
-		if err = c.tr.appendLocked(wire.FrameRequest, call.streamID, envs[i]); err != nil {
-			break
+		if err == nil {
+			err = c.tr.appendLocked(wire.FrameRequest, call.streamID, envs[i])
 		}
 	}
 	if err == nil {
 		err = c.tr.flushLocked()
 	}
 	c.tr.unlockSend()
+	if pipelined {
+		p.exit()
+	}
 	sentNs := c.sinceEpoch()
 	for i, call := range batch {
 		wire.PutBuf(envs[i])
@@ -623,7 +771,8 @@ func (c *Channel) failCall(call *clientCall, err error) {
 
 // readLoop dispatches incoming frames to waiting calls and streams. It
 // owns bulkIn, the bulk-lane response assemblies, so that path takes no
-// locks beyond the pending-map lookup.
+// locks beyond the pending-map lookup. With a codec pool attached it
+// splits into a read-ahead pump and this dispatching goroutine.
 func (c *Channel) readLoop() {
 	defer c.loops.Done()
 	bulkIn := make(map[uint64]*clientBulk)
@@ -632,101 +781,162 @@ func (c *Channel) readLoop() {
 			wire.PutBuf(b.data)
 		}
 	}()
+	if c.tr.codec != nil {
+		c.readLoopPipelined(bulkIn)
+		return
+	}
 	for {
 		m, err := c.tr.recv()
 		if err != nil {
 			c.fail(err)
 			return
 		}
-		plain := m.plain
-		switch m.typ {
-		case wire.FrameResponse:
-			rxNs := c.sinceEpoch()
-			c.mu.Lock()
-			call := c.pending[m.streamID]
-			delete(c.pending, m.streamID)
-			c.mu.Unlock()
-			if call == nil {
-				wire.PutBuf(plain)
-				continue // cancelled or duplicate
-			}
-			res := &callResult{buf: plain, rxAtNs: rxNs}
-			if perr := parseResponseInto(&res.resp, plain); perr != nil {
-				wire.PutBuf(plain)
-				c.failCall(call, perr)
-				continue
-			}
-			c.serverLoad.Store(int64(res.resp.Load))
-			// Ownership of the pooled buffer travels with the result; the
-			// waiting call releases it after copying the payload out.
-			call.resultCh <- res
-		case wire.FrameBulkResponse:
-			// Envelope of a bulk-lane response: stash it and collect the
-			// payload from the chunk frames that follow.
-			b := &clientBulk{}
-			if perr := parseResponseInto(&b.resp, plain); perr != nil {
-				wire.PutBuf(plain)
-				c.failPending(m.streamID, perr)
-				continue
-			}
-			// Message was copied out by the parse; nothing aliases plain.
-			b.resp.Payload = nil
-			wire.PutBuf(plain)
-			if b.resp.BulkSize == 0 {
-				c.deliverBulk(m.streamID, b, nil)
-				continue
-			}
-			bulkIn[m.streamID] = b
-		case wire.FrameStreamChunk:
-			if st := c.lookupStream(m.streamID); st != nil {
-				st.deliverChunk(m.flags, plain)
-				continue
-			}
-			b := bulkIn[m.streamID]
-			if b == nil {
-				wire.PutBuf(plain) // reset or cancelled mid-transfer
-				continue
-			}
-			if b.data == nil && m.flags&chunkEndMsg != 0 {
-				b.data = plain // single-chunk response: zero-copy handoff
-			} else {
-				if b.data == nil {
-					b.data = wire.GetBuf(int(b.resp.BulkSize))
-				}
-				b.data = append(b.data, plain...)
-				wire.PutBuf(plain)
-			}
-			if m.flags&chunkEndMsg != 0 {
-				delete(bulkIn, m.streamID)
-				c.deliverBulk(m.streamID, b, b.data)
-			}
-		case wire.FrameWindowUpdate:
-			if st := c.lookupStream(m.streamID); st != nil {
-				st.grantFromPeer(plain)
-			}
-			wire.PutBuf(plain)
-		case wire.FrameReset:
-			if st := c.lookupStream(m.streamID); st != nil {
-				st.resetFromPeer(plain)
-			}
-			wire.PutBuf(plain)
-		case wire.FramePong:
-			wire.PutBuf(plain)
-			c.pingMu.Lock()
-			ch := c.pingCh
-			c.pingCh = nil
-			c.pingMu.Unlock()
-			if ch != nil {
-				ch <- time.Now()
-			}
-		case wire.FrameGoAway:
-			wire.PutBuf(plain)
-			c.fail(ErrUnavailable)
+		if !c.dispatchFrame(m, bulkIn) {
 			return
-		default:
-			wire.PutBuf(plain)
 		}
 	}
+}
+
+// readLoopPipelined overlaps frame reads and decryption: recvPump reads
+// ahead and hands large frames to the codec workers; this goroutine
+// harvests plaintexts in arrival order and dispatches them. Every item
+// the pump emits is harvested even during teardown, so the pump never
+// wedges on a full channel and no pooled buffer is lost.
+func (c *Channel) readLoopPipelined(bulkIn map[uint64]*clientBulk) {
+	items := make(chan recvItem, recvPipelineDepth)
+	var pumpErr error
+	c.loops.Add(1)
+	go func() {
+		defer c.loops.Done()
+		pumpErr = c.tr.recvPump(items)
+		close(items)
+	}()
+	failed := false
+	for it := range items {
+		if failed {
+			if it.job != nil {
+				out, _ := c.tr.finishOpen(it.job)
+				wire.PutBuf(out)
+			} else {
+				wire.PutBuf(it.msg.plain)
+			}
+			continue
+		}
+		m := it.msg
+		if it.job != nil {
+			out, err := c.tr.finishOpen(it.job)
+			if err != nil {
+				c.fail(err)
+				// The pump only exits on a read error; force one.
+				c.tr.close()
+				failed = true
+				continue
+			}
+			m.plain = out
+		}
+		if !c.dispatchFrame(m, bulkIn) {
+			c.tr.close()
+			failed = true
+		}
+	}
+	if !failed {
+		c.fail(pumpErr)
+	}
+}
+
+// dispatchFrame routes one decrypted inbound frame, taking ownership of
+// m.plain. It returns false when the connection must come down (the
+// channel is already failed by then).
+func (c *Channel) dispatchFrame(m recvMsg, bulkIn map[uint64]*clientBulk) bool {
+	plain := m.plain
+	switch m.typ {
+	case wire.FrameResponse:
+		rxNs := c.sinceEpoch()
+		c.mu.Lock()
+		call := c.pending[m.streamID]
+		delete(c.pending, m.streamID)
+		c.mu.Unlock()
+		if call == nil {
+			wire.PutBuf(plain)
+			return true // cancelled or duplicate
+		}
+		res := &callResult{buf: plain, rxAtNs: rxNs}
+		if perr := parseResponseInto(&res.resp, plain); perr != nil {
+			wire.PutBuf(plain)
+			c.failCall(call, perr)
+			return true
+		}
+		c.serverLoad.Store(int64(res.resp.Load))
+		// Ownership of the pooled buffer travels with the result; the
+		// waiting call releases it after copying the payload out.
+		call.resultCh <- res
+	case wire.FrameBulkResponse:
+		// Envelope of a bulk-lane response: stash it and collect the
+		// payload from the chunk frames that follow.
+		b := &clientBulk{}
+		if perr := parseResponseInto(&b.resp, plain); perr != nil {
+			wire.PutBuf(plain)
+			c.failPending(m.streamID, perr)
+			return true
+		}
+		// Message was copied out by the parse; nothing aliases plain.
+		b.resp.Payload = nil
+		wire.PutBuf(plain)
+		if b.resp.BulkSize == 0 {
+			c.deliverBulk(m.streamID, b, nil)
+			return true
+		}
+		bulkIn[m.streamID] = b
+	case wire.FrameStreamChunk:
+		if st := c.lookupStream(m.streamID); st != nil {
+			st.deliverChunk(m.flags, plain)
+			return true
+		}
+		b := bulkIn[m.streamID]
+		if b == nil {
+			wire.PutBuf(plain) // reset or cancelled mid-transfer
+			return true
+		}
+		if b.data == nil && m.flags&chunkEndMsg != 0 {
+			b.data = plain // single-chunk response: zero-copy handoff
+		} else {
+			if b.data == nil {
+				b.data = wire.GetBuf(int(b.resp.BulkSize))
+			}
+			b.data = append(b.data, plain...)
+			wire.PutBuf(plain)
+		}
+		if m.flags&chunkEndMsg != 0 {
+			delete(bulkIn, m.streamID)
+			c.deliverBulk(m.streamID, b, b.data)
+		}
+	case wire.FrameWindowUpdate:
+		if st := c.lookupStream(m.streamID); st != nil {
+			st.grantFromPeer(plain)
+		}
+		wire.PutBuf(plain)
+	case wire.FrameReset:
+		if st := c.lookupStream(m.streamID); st != nil {
+			st.resetFromPeer(plain)
+		}
+		wire.PutBuf(plain)
+	case wire.FramePong:
+		wire.PutBuf(plain)
+		c.pingMu.Lock()
+		ch := c.pingCh
+		c.pingCh = nil
+		c.pingMu.Unlock()
+		if ch != nil {
+			ch <- time.Now()
+		}
+	case wire.FrameGoAway:
+		wire.PutBuf(plain)
+		c.fail(ErrUnavailable)
+		return false
+	default:
+		wire.PutBuf(plain)
+	}
+	return true
 }
 
 // deliverBulk completes a bulk-lane response: data (the assembly buffer,
@@ -750,14 +960,36 @@ func (c *Channel) deliverBulk(streamID uint64, b *clientBulk, data []byte) {
 // ServerLoad returns the server's most recently reported load estimate
 // (receive-queue depth plus executing handlers), 0 until the first
 // response arrives. It is the piggybacked signal load-aware balancing
-// policies consume.
-func (c *Channel) ServerLoad() int { return int(c.serverLoad.Load()) }
+// policies consume. On a striped channel it is the freshest report any
+// stripe has seen — the maximum, since every stripe talks to one server.
+func (c *Channel) ServerLoad() int {
+	if len(c.stripes) == 0 {
+		return int(c.serverLoad.Load())
+	}
+	load := int64(0)
+	for _, s := range c.stripes {
+		if l := s.serverLoad.Load(); l > load {
+			load = l
+		}
+	}
+	return int(load)
+}
 
-// InFlight returns how many calls on this channel await a response.
+// InFlight returns how many calls on this channel await a response,
+// summed across stripes.
 func (c *Channel) InFlight() int {
-	c.mu.Lock()
-	n := len(c.pending)
-	c.mu.Unlock()
+	if len(c.stripes) == 0 {
+		c.mu.Lock()
+		n := len(c.pending)
+		c.mu.Unlock()
+		return n
+	}
+	n := 0
+	for _, s := range c.stripes {
+		s.mu.Lock()
+		n += len(s.pending)
+		s.mu.Unlock()
+	}
 	return n
 }
 
@@ -818,8 +1050,18 @@ func (c *Channel) Ping(ctx context.Context) (time.Duration, error) {
 	}
 }
 
-// fail kills the channel: all pending and future calls error out.
+// fail kills the channel: all pending and future calls error out. On a
+// striped channel it condemns every stripe — one logical connection.
 func (c *Channel) fail(err error) {
+	if c.onFail != nil {
+		c.onFail(err)
+		return
+	}
+	c.failLocal(err)
+}
+
+// failLocal kills this channel (this stripe) only.
+func (c *Channel) failLocal(err error) {
 	c.err.Store(&channelError{err: err})
 	c.closeOnce.Do(func() { close(c.closed) })
 	c.mu.Lock()
@@ -838,8 +1080,24 @@ func (c *Channel) fail(err error) {
 
 // Close shuts the channel down. Pending calls fail with Unavailable.
 func (c *Channel) Close() error {
+	if len(c.stripes) > 0 {
+		var err error
+		for _, s := range c.stripes {
+			if e := s.closeLocal(); e != nil && err == nil {
+				err = e
+			}
+		}
+		return err
+	}
+	return c.closeLocal()
+}
+
+// closeLocal tears down one channel (one stripe): fail everything, close
+// the conn so the loops unwind, join them, then stop the codec workers.
+func (c *Channel) closeLocal() error {
 	c.fail(ErrUnavailable)
 	err := c.tr.close()
 	c.loops.Wait()
+	c.tr.stopCodec()
 	return err
 }

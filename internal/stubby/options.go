@@ -38,6 +38,19 @@ func (NopRobustnessObserver) RetrySuppressed(string)                            
 func (NopRobustnessObserver) BreakerTransition(string, BreakerState, BreakerState) {}
 func (NopRobustnessObserver) CallShed(string)                                      {}
 
+// DataPlaneObserver receives the multi-core data plane's events: codec
+// pool activity and adaptive-compression decisions. It must be safe for
+// concurrent use; *telemetry.Plane is the canonical implementation.
+type DataPlaneObserver interface {
+	// CodecJobEnqueued reports one frame handed to the codec workers and
+	// the number of jobs already queued ahead of it.
+	CodecJobEnqueued(queued int)
+	// CompressSkipped reports a payload the adaptive estimator sent
+	// uncompressed: bytes is the payload size the compression tax was
+	// spared on.
+	CompressSkipped(method string, bytes int)
+}
+
 // Options configures a Channel or Server. The zero value is usable; New*
 // functions fill in defaults.
 type Options struct {
@@ -123,6 +136,31 @@ type Options struct {
 	// 16 KiB default; negative disables the bulk lane. WithBulkThreshold
 	// and WithBulkLane override per call on the client side.
 	BulkThreshold int
+
+	// ConnStripes makes Dial open this many TCP connections and stripe
+	// streams and bulk transfers across them, so one client:server pair
+	// is no longer serialized on a single socket's send/recv loops.
+	// Unary envelope traffic and each individual call or stream keep
+	// per-connection affinity, preserving frame order. 0 and 1 mean one
+	// connection (the default). NewChannel ignores it: a channel built
+	// over an existing conn cannot dial more.
+	ConnStripes int
+
+	// CodecWorkers sizes the per-connection codec worker pool that seals
+	// and opens large frames off the send/recv loops. 0 (the default)
+	// sizes it from GOMAXPROCS and disables it on a single-proc runtime;
+	// > 0 forces that many workers; < 0 forces the inline path.
+	CodecWorkers int
+
+	// AdaptiveCompression lets the endpoint skip configured compression
+	// per method when live telemetry (an entropy probe on the first
+	// bytes plus a windowed observed-ratio estimator) says the payloads
+	// do not compress — the paper's compression tax is pure waste there.
+	AdaptiveCompression bool
+
+	// DataPlane observes codec-pool and adaptive-compression events. Nil
+	// disables (telemetry.Plane.Apply installs itself here).
+	DataPlane DataPlaneObserver
 
 	// PoolPicker, when non-nil, replaces a Pool's round-robin channel
 	// selection: it is called with the live members (never empty, not

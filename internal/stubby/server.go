@@ -82,6 +82,11 @@ type serverConn struct {
 	closed chan struct{}
 	once   sync.Once
 
+	// gate is the adaptive-compression decision state, owned by this
+	// connection's writeLoop goroutine; nil when adaptive compression is
+	// off.
+	gate *compressGate
+
 	cancelMu sync.Mutex
 	cancels  map[uint64]context.CancelFunc // in-flight calls by stream ID
 
@@ -154,8 +159,11 @@ func (c *serverConn) failStreams() {
 // serverResponse is a response waiting in the send queue.
 type serverResponse struct {
 	streamID uint64
-	resp     response
-	reqBuf   []byte // pooled request envelope, released after the response seals
+	// method is the interned method name, for the adaptive-compression
+	// gate's per-method estimator.
+	method string
+	resp   response
+	reqBuf []byte // pooled request envelope, released after the response seals
 	// reqBulk is the pooled bulk-lane request payload; like reqBuf it is
 	// released only after the response seals (the handler's response may
 	// alias it — echo servers return their input).
@@ -249,11 +257,15 @@ func (s *Server) Serve(l net.Listener) error {
 			conn.Close()
 			continue
 		}
+		tr.startCodec(codecWorkerCount(s.opts.CodecWorkers), s.opts.DataPlane)
 		sc := &serverConn{
 			tr:      tr,
 			sendQ:   make(chan *serverResponse, s.opts.SendQueueLen),
 			cancels: make(map[uint64]context.CancelFunc),
 			closed:  make(chan struct{}),
+			gate: newCompressGate(
+				s.opts.AdaptiveCompression && s.opts.Compression != compressor.None,
+				s.opts.DataPlane, s.comp.Stats()),
 		}
 		s.conns.Add(2)
 		go s.readLoop(sc)
@@ -280,6 +292,7 @@ type serverBulk struct {
 // stream cannot head-of-line-block the connection).
 func (s *Server) readLoop(sc *serverConn) {
 	defer s.conns.Done()
+	defer sc.tr.stopCodec()
 	defer sc.shutdown()
 	defer sc.failStreams()
 	bulkIn := make(map[uint64]*serverBulk)
@@ -289,6 +302,10 @@ func (s *Server) readLoop(sc *serverConn) {
 			wire.PutBuf(b.data)
 		}
 	}()
+	if sc.tr.codec != nil {
+		s.readLoopPipelined(sc, bulkIn)
+		return
+	}
 	for {
 		m, err := sc.tr.recv()
 		if err != nil {
@@ -296,87 +313,127 @@ func (s *Server) readLoop(sc *serverConn) {
 			// nothing to salvage either way.
 			return
 		}
-		plain := m.plain
-		switch m.typ {
-		case wire.FrameRequest:
-			if t := s.opts.ShedThreshold; t > 0 && len(s.recvQ) >= t {
-				// Load shedding: past the configured queue depth, new
-				// arrivals would only queue toward deadlines they will
-				// miss, so reject them immediately with Unavailable —
-				// the fail-fast overload posture the paper's §7 retry
-				// analysis assumes servers adopt.
-				s.shed(sc, m.streamID, plain)
-				wire.PutBuf(plain)
-				continue
-			}
-			call := &serverCall{
-				conn:     sc,
-				streamID: m.streamID,
-				raw:      plain, // pooled; ownership travels with the call
-				readDone: time.Now(),
-			}
-			if !s.enqueue(call) {
-				return
-			}
-		case wire.FrameBulkRequest:
-			// Envelope of a bulk-lane request; the payload follows as
-			// chunks. Queue admission happens when the payload completes.
-			bulkIn[m.streamID] = &serverBulk{env: plain, readStart: time.Now()}
-		case wire.FrameStreamOpen:
-			if !s.acceptStream(sc, m.streamID, plain) {
-				return
-			}
-		case wire.FrameStreamChunk:
-			if b := bulkIn[m.streamID]; b != nil {
-				done, ok := s.assembleBulk(sc, m.streamID, b, m.flags, plain)
-				if done {
-					delete(bulkIn, m.streamID)
-				}
-				if !ok {
-					return
-				}
-				continue
-			}
-			if st := sc.lookupStream(m.streamID); st != nil {
-				st.deliverChunk(m.flags, plain)
-				continue
-			}
-			wire.PutBuf(plain) // stream already reset or unknown
-		case wire.FrameWindowUpdate:
-			if st := sc.lookupStream(m.streamID); st != nil {
-				st.grantFromPeer(plain)
-			}
-			wire.PutBuf(plain)
-		case wire.FrameReset:
-			if b := bulkIn[m.streamID]; b != nil {
-				delete(bulkIn, m.streamID)
-				wire.PutBuf(b.env)
-				wire.PutBuf(b.data)
-			}
-			if st := sc.lookupStream(m.streamID); st != nil {
-				// Terminating cancels the handler's context promptly and
-				// fails its blocked Sends — the client walked away.
-				st.resetFromPeer(plain)
-			}
-			wire.PutBuf(plain)
-		case wire.FrameCancel:
-			wire.PutBuf(plain)
-			if b := bulkIn[m.streamID]; b != nil {
-				delete(bulkIn, m.streamID)
-				wire.PutBuf(b.env)
-				wire.PutBuf(b.data)
-			}
-			sc.cancelStream(m.streamID)
-		case wire.FramePing:
-			wire.PutBuf(plain)
-			_ = sc.tr.send(wire.FramePong, m.streamID, nil)
-		case wire.FrameGoAway:
-			wire.PutBuf(plain)
+		if !s.dispatchServerFrame(sc, m, bulkIn) {
 			return
-		default:
-			wire.PutBuf(plain)
 		}
 	}
+}
+
+// readLoopPipelined is readLoop's frame dispatcher when the connection has
+// a codec pool: a pump goroutine reads ahead and submits large frames for
+// concurrent decryption while this goroutine harvests completed opens in
+// arrival order and dispatches them. After a failure it keeps draining the
+// pump's channel (harvesting and releasing buffers) so the pump never
+// blocks on a full channel.
+func (s *Server) readLoopPipelined(sc *serverConn, bulkIn map[uint64]*serverBulk) {
+	items := make(chan recvItem, recvPipelineDepth)
+	s.conns.Add(1)
+	go func() {
+		defer s.conns.Done()
+		_ = sc.tr.recvPump(items)
+		close(items)
+	}()
+	failed := false
+	for it := range items {
+		if it.job != nil {
+			out, err := sc.tr.finishOpen(it.job)
+			if err != nil {
+				if !failed {
+					sc.shutdown()
+					failed = true
+				}
+				continue
+			}
+			it.msg.plain = out
+		}
+		if failed {
+			wire.PutBuf(it.msg.plain)
+			continue
+		}
+		if !s.dispatchServerFrame(sc, it.msg, bulkIn) {
+			sc.shutdown()
+			failed = true
+		}
+	}
+}
+
+// dispatchServerFrame routes one decoded frame; false means the read loop
+// should exit (shutdown or GoAway).
+func (s *Server) dispatchServerFrame(sc *serverConn, m recvMsg, bulkIn map[uint64]*serverBulk) bool {
+	plain := m.plain
+	switch m.typ {
+	case wire.FrameRequest:
+		if t := s.opts.ShedThreshold; t > 0 && len(s.recvQ) >= t {
+			// Load shedding: past the configured queue depth, new
+			// arrivals would only queue toward deadlines they will
+			// miss, so reject them immediately with Unavailable —
+			// the fail-fast overload posture the paper's §7 retry
+			// analysis assumes servers adopt.
+			s.shed(sc, m.streamID, plain)
+			wire.PutBuf(plain)
+			return true
+		}
+		call := &serverCall{
+			conn:     sc,
+			streamID: m.streamID,
+			raw:      plain, // pooled; ownership travels with the call
+			readDone: time.Now(),
+		}
+		return s.enqueue(call)
+	case wire.FrameBulkRequest:
+		// Envelope of a bulk-lane request; the payload follows as
+		// chunks. Queue admission happens when the payload completes.
+		bulkIn[m.streamID] = &serverBulk{env: plain, readStart: time.Now()}
+	case wire.FrameStreamOpen:
+		return s.acceptStream(sc, m.streamID, plain)
+	case wire.FrameStreamChunk:
+		if b := bulkIn[m.streamID]; b != nil {
+			done, ok := s.assembleBulk(sc, m.streamID, b, m.flags, plain)
+			if done {
+				delete(bulkIn, m.streamID)
+			}
+			return ok
+		}
+		if st := sc.lookupStream(m.streamID); st != nil {
+			st.deliverChunk(m.flags, plain)
+			return true
+		}
+		wire.PutBuf(plain) // stream already reset or unknown
+	case wire.FrameWindowUpdate:
+		if st := sc.lookupStream(m.streamID); st != nil {
+			st.grantFromPeer(plain)
+		}
+		wire.PutBuf(plain)
+	case wire.FrameReset:
+		if b := bulkIn[m.streamID]; b != nil {
+			delete(bulkIn, m.streamID)
+			wire.PutBuf(b.env)
+			wire.PutBuf(b.data)
+		}
+		if st := sc.lookupStream(m.streamID); st != nil {
+			// Terminating cancels the handler's context promptly and
+			// fails its blocked Sends — the client walked away.
+			st.resetFromPeer(plain)
+		}
+		wire.PutBuf(plain)
+	case wire.FrameCancel:
+		wire.PutBuf(plain)
+		if b := bulkIn[m.streamID]; b != nil {
+			delete(bulkIn, m.streamID)
+			wire.PutBuf(b.env)
+			wire.PutBuf(b.data)
+		}
+		sc.cancelStream(m.streamID)
+	case wire.FramePing:
+		wire.PutBuf(plain)
+		_ = sc.tr.send(wire.FramePong, m.streamID, nil)
+	case wire.FrameGoAway:
+		wire.PutBuf(plain)
+		return false
+	default:
+		wire.PutBuf(plain)
+	}
+	return true
 }
 
 // enqueue admits one decoded call to the receive queue; false means the
@@ -649,6 +706,12 @@ func (s *Server) handle(call *serverCall) {
 		out, herr = invoke(ctx, payload)
 		if ctxErr := ctx.Err(); herr == nil && ctxErr != nil {
 			herr = ctxErrToStatus(ctxErr)
+		} else if herr != nil && (errors.Is(herr, context.DeadlineExceeded) || errors.Is(herr, context.Canceled)) {
+			// A handler returning its ctx.Err() means the propagated
+			// deadline or a cancel fired: surface the canonical code, not
+			// Internal — the client may see this response before its own
+			// local timer when both ends expire at the same instant.
+			herr = ctxErrToStatus(herr)
 		}
 	}
 	appDone := time.Now()
@@ -656,6 +719,7 @@ func (s *Server) handle(call *serverCall) {
 	st := StatusFromError(herr)
 	sr := &serverResponse{
 		streamID: call.streamID,
+		method:   req.Method,
 		// The handler's response may alias the request envelope (echo
 		// servers return their input), so the pooled request buffers ride
 		// along and are released only after the response is sealed.
@@ -694,22 +758,23 @@ func (s *Server) writeLoop(sc *serverConn) {
 	defer s.conns.Done()
 	batch := make([]*serverResponse, 0, 32)
 	envs := make([][]byte, 0, 32)
+	var scr sealScratch
 	for {
 		select {
 		case sr := <-sc.sendQ:
 			batch, envs = batch[:0], envs[:0]
 			size := 0
-			batch, envs, size = s.prepareResponse(sr, batch, envs, size)
+			batch, envs, size = s.prepareResponse(sc, sr, batch, envs, size)
 		drain:
 			for size < sendBatchBytes {
 				select {
 				case next := <-sc.sendQ:
-					batch, envs, size = s.prepareResponse(next, batch, envs, size)
+					batch, envs, size = s.prepareResponse(sc, next, batch, envs, size)
 				default:
 					break drain
 				}
 			}
-			s.flushResponses(sc, batch, envs)
+			s.flushResponses(sc, batch, envs, &scr)
 		case <-sc.closed:
 			return
 		}
@@ -721,7 +786,7 @@ func (s *Server) writeLoop(sc *serverConn) {
 // bulk threshold switch to the bulk lane: the envelope carries only the
 // size, and the payload leaves as chunk frames sealed straight from the
 // handler's buffer — no copy into the envelope, no compression.
-func (s *Server) prepareResponse(sr *serverResponse, batch []*serverResponse, envs [][]byte, size int) ([]*serverResponse, [][]byte, int) {
+func (s *Server) prepareResponse(sc *serverConn, sr *serverResponse, batch []*serverResponse, envs [][]byte, size int) ([]*serverResponse, [][]byte, int) {
 	procStart := time.Now()
 	resp := &sr.resp
 	if th := s.opts.BulkThreshold; th > 0 && len(resp.Payload) >= th && len(resp.Payload) <= wire.MaxFrameSize {
@@ -729,10 +794,15 @@ func (s *Server) prepareResponse(sr *serverResponse, batch []*serverResponse, en
 		sr.bulkOut = resp.Payload
 		resp.BulkSize = uint64(len(resp.Payload))
 		resp.Payload = nil
-	} else if s.opts.Compression != compressor.None && len(resp.Payload) >= s.opts.CompressThreshold {
-		if compressed, err := s.comp.Compress(resp.Payload); err == nil && len(compressed) < len(resp.Payload) {
-			resp.Payload = compressed
-			resp.Compressed = true
+	} else if s.opts.Compression != compressor.None && len(resp.Payload) >= s.opts.CompressThreshold &&
+		sc.gate.shouldCompress(sr.method, resp.Payload) {
+		inLen := len(resp.Payload)
+		if compressed, err := s.comp.Compress(resp.Payload); err == nil {
+			sc.gate.observe(sr.method, inLen, len(compressed))
+			if len(compressed) < inLen {
+				resp.Payload = compressed
+				resp.Compressed = true
+			}
 		}
 	}
 	resp.Timings = serverTimings{
@@ -763,33 +833,69 @@ func (s *Server) prepareResponse(sr *serverResponse, batch []*serverResponse, en
 // buffer, flushes them with a single write, and releases the pooled
 // request and response buffers. A failed write is not reported here — the
 // connection's read loop observes the socket error and tears down.
-func (s *Server) flushResponses(sc *serverConn, batch []*serverResponse, envs [][]byte) {
+func (s *Server) flushResponses(sc *serverConn, batch []*serverResponse, envs [][]byte, scr *sealScratch) {
 	if len(batch) == 0 {
 		return
 	}
+	// Pipelining phase: large bulk payloads are chunked and handed to the
+	// codec pool before the send lock is taken, so workers seal them while
+	// this goroutine seals the small envelopes inline. Harvest below is
+	// in submit order, preserving frame order on the wire.
+	p := sc.tr.codec
+	pipelined := false
+	if p != nil {
+		scr.jobs, scr.n = scr.jobs[:0], scr.n[:0]
+		if p.enter() {
+			pipelined = true
+			for _, sr := range batch {
+				k := 0
+				if sr.bulk && len(sr.bulkOut) > codecInlineMax {
+					before := len(scr.jobs)
+					scr.jobs = p.submitSealChunks(scr.jobs, sr.streamID, sr.bulkOut, 0)
+					k = len(scr.jobs) - before
+				}
+				scr.n = append(scr.n, k)
+			}
+		}
+	}
 	sc.tr.lockSend()
 	var err error
+	ji := 0
 	for i, sr := range batch {
+		k := 0
+		if pipelined {
+			k = scr.n[i]
+		}
 		if sr.bulk {
 			// Envelope first, then the payload chunks on the same stream —
 			// all in this batch's single vectored write. Bulk-unary chunks
 			// are exempt from stream credit: the request bounded them.
-			if err = sc.tr.appendLocked(wire.FrameBulkResponse, sr.streamID, envs[i]); err != nil {
-				break
+			if err == nil {
+				err = sc.tr.appendLocked(wire.FrameBulkResponse, sr.streamID, envs[i])
 			}
-			if err = sc.tr.appendChunkedLocked(sr.streamID, sr.bulkOut, 0); err != nil {
-				break
+			if k > 0 {
+				// Harvest even after an earlier error: every submitted job
+				// must be awaited and its buffer released.
+				if herr := sc.tr.appendSealedLocked(sr.streamID, scr.jobs[ji:ji+k], err != nil); err == nil {
+					err = herr
+				}
+				ji += k
+			} else if err == nil {
+				err = sc.tr.appendChunkedLocked(sr.streamID, sr.bulkOut, 0)
 			}
 			continue
 		}
-		if err = sc.tr.appendLocked(wire.FrameResponse, sr.streamID, envs[i]); err != nil {
-			break
+		if err == nil {
+			err = sc.tr.appendLocked(wire.FrameResponse, sr.streamID, envs[i])
 		}
 	}
 	if err == nil {
 		_ = sc.tr.flushLocked()
 	}
 	sc.tr.unlockSend()
+	if pipelined {
+		p.exit()
+	}
 	for i, sr := range batch {
 		wire.PutBuf(envs[i])
 		wire.PutBuf(sr.reqBuf)

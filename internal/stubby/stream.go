@@ -129,8 +129,14 @@ func msgCharge(n int) int64 {
 // Recv; CloseSend half-closes the sending direction (the server's Recv
 // then returns io.EOF); Close abandons the stream, resetting it on the
 // server. The stream ends when Recv returns io.EOF (clean final status)
-// or an error.
+// or an error. On a striped channel the stream rides one stripe picked
+// round-robin; all its frames stay on that socket.
 func (c *Channel) OpenStream(ctx context.Context, method string, opts ...CallOption) (*Stream, error) {
+	return c.stripeFor(true).openStreamLocal(ctx, method, opts...)
+}
+
+// openStreamLocal opens a stream on this channel's own connection.
+func (c *Channel) openStreamLocal(ctx context.Context, method string, opts ...CallOption) (*Stream, error) {
 	co := resolveCallOpts(ctx, opts)
 	win := int64(c.opts.StreamWindow)
 	if co.window > 0 {

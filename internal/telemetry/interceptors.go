@@ -25,6 +25,9 @@ func (p *Plane) Apply(opts stubby.Options) stubby.Options {
 	if opts.Robustness == nil {
 		opts.Robustness = p
 	}
+	if opts.DataPlane == nil {
+		opts.DataPlane = p
+	}
 	return opts
 }
 

@@ -68,6 +68,15 @@ const (
 	// MetricShed counts requests the server rejected by load shedding
 	// before they reached the worker pool. Counter; labels: method.
 	MetricShed = "server/shed"
+	// MetricCodecJobs counts seal/open jobs submitted to codec worker
+	// pools (the pipelined data plane, DESIGN.md §16). Counter; no labels.
+	MetricCodecJobs = "rpc/codec_jobs"
+	// MetricCodecQueueDepth is the distribution of codec job-queue depth
+	// observed at submit time. Distribution; no labels.
+	MetricCodecQueueDepth = "rpc/codec_queue_depth"
+	// MetricCompressSkipped counts payloads the adaptive compression gate
+	// sent uncompressed. Counter; labels: method.
+	MetricCompressSkipped = "rpc/compress_skipped"
 )
 
 // config collects construction-time settings.
@@ -144,6 +153,11 @@ type Plane struct {
 	breakerTransitions atomic.Uint64
 	shedCalls          atomic.Uint64
 
+	// Data-plane totals (the DataPlaneObserver surface; see dataplane.go).
+	codecJobs            atomic.Uint64
+	compressSkips        atomic.Uint64
+	compressSkippedBytes atomic.Uint64
+
 	mu   sync.Mutex
 	aggs map[aggKey]*winAgg
 }
@@ -168,6 +182,8 @@ const (
 	kindRetrySuppressed
 	kindBreaker
 	kindShed
+	kindCodecJob
+	kindCompressSkip
 )
 
 // winAgg buffers one stream's current window; it is flushed into Monarch
@@ -220,6 +236,9 @@ func newDeclaredDB(window, retention time.Duration) *monarch.DB {
 		MetricRetriesSuppressed:  monarch.Counter,
 		MetricBreakerTransitions: monarch.Counter,
 		MetricShed:               monarch.Counter,
+		MetricCodecJobs:          monarch.Counter,
+		MetricCodecQueueDepth:    monarch.Distribution,
+		MetricCompressSkipped:    monarch.Counter,
 	} {
 		if err := db.Declare(m, k); err != nil {
 			panic(err) // fresh DB; only a telemetry-internal bug can fail
@@ -247,10 +266,15 @@ func (p *Plane) Reset() {
 	p.retriesSuppressed.Store(0)
 	p.breakerTransitions.Store(0)
 	p.shedCalls.Store(0)
+	p.codecJobs.Store(0)
+	p.compressSkips.Store(0)
+	p.compressSkippedBytes.Store(0)
 	p.comp.CompressCalls.Store(0)
 	p.comp.DecompressCalls.Store(0)
 	p.comp.BytesIn.Store(0)
 	p.comp.BytesOut.Store(0)
+	p.comp.Skips.Store(0)
+	p.comp.SkippedBytes.Store(0)
 	p.enc.Seals.Store(0)
 	p.enc.Opens.Store(0)
 	p.enc.BytesEncrypted.Store(0)
@@ -466,6 +490,15 @@ func (p *Plane) flushLocked(key aggKey, a *winAgg) {
 		}, a.window, a.count)
 	case kindShed:
 		p.write(MetricShed, monarch.Labels{"method": key.method}, a.window, a.count)
+	case kindCodecJob:
+		p.write(MetricCodecJobs, nil, a.window, a.count)
+		if a.lat != nil {
+			// The "latency" histogram carries queue depths here; same
+			// windowed distribution machinery, different unit.
+			p.writeDist(MetricCodecQueueDepth, nil, a.window, a.lat)
+		}
+	case kindCompressSkip:
+		p.write(MetricCompressSkipped, monarch.Labels{"method": key.method}, a.window, a.count)
 	}
 }
 

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -41,7 +42,7 @@ func (p *bufClass) unlock() {
 	p.mu.Unlock()
 }
 
-// depth returns the retention limit for class cls.
+// depth returns the whole-class retention limit for class cls.
 func depth(cls int) int {
 	d := maxRetainedPerClass >> (cls + minPoolClass)
 	if d > poolDepth {
@@ -49,6 +50,19 @@ func depth(cls int) int {
 	}
 	if d < 4 {
 		return 4
+	}
+	return d
+}
+
+// shardDepth splits the class retention limit across shards (rounding up,
+// minimum one buffer per shard). For small classes the 4 MiB cap is
+// preserved exactly; the largest classes may retain up to one buffer per
+// shard beyond it — bounded, and only when multi-core traffic actually
+// populates every shard.
+func shardDepth(cls int) int {
+	d := (depth(cls) + poolShardCount - 1) / poolShardCount
+	if d < 1 {
+		return 1
 	}
 	return d
 }
@@ -69,7 +83,34 @@ const (
 	maxPoolClass = 20 // largest pooled capacity: 1 MiB
 )
 
-var bufPools [maxPoolClass - minPoolClass + 1]bufClass
+// maxPoolShards bounds the per-class shard fan-out. Each size class is
+// split into poolShardCount independently locked shards so parallel codec
+// workers and connection stripes do not serialize on one mutex per class;
+// a shard is picked round-robin from the operation counters (no extra
+// atomics on the hot path). With GOMAXPROCS=1 — and always under the
+// sanitize tag, whose poison tests rely on deterministic LIFO reuse —
+// there is a single shard and behavior is identical to the unsharded
+// pool.
+const maxPoolShards = 8
+
+var (
+	poolShardCount = 1
+	poolShardMask  int64
+)
+
+func init() {
+	if sanitize.Enabled {
+		return
+	}
+	s := 1
+	for s < runtime.GOMAXPROCS(0) && s < maxPoolShards {
+		s <<= 1
+	}
+	poolShardCount = s
+	poolShardMask = int64(s - 1)
+}
+
+var bufPools [maxPoolClass - minPoolClass + 1][maxPoolShards]bufClass
 
 // poolGets and poolPuts count GetBuf and PutBuf calls (including the
 // out-of-class fallbacks). Their difference bounds the buffers currently
@@ -88,7 +129,7 @@ func PoolCounters() (gets, puts int64) {
 // append into. Requests beyond the largest size class are plain
 // allocations that PutBuf will decline to pool.
 func GetBuf(n int) []byte {
-	poolGets.Add(1)
+	g := poolGets.Add(1)
 	if n > 1<<maxPoolClass {
 		return make([]byte, 0, n)
 	}
@@ -96,7 +137,7 @@ func GetBuf(n int) []byte {
 	if n > 1<<minPoolClass {
 		cls = bits.Len(uint(n-1)) - minPoolClass // ceil(log2 n) - min
 	}
-	p := &bufPools[cls]
+	p := &bufPools[cls][g&poolShardMask]
 	p.lock()
 	if p.n > 0 {
 		p.n--
@@ -118,16 +159,16 @@ func PutBuf(b []byte) {
 	if b == nil {
 		return
 	}
-	poolPuts.Add(1)
+	g := poolPuts.Add(1)
 	c := cap(b)
 	if c < 1<<minPoolClass || c > 1<<maxPoolClass {
 		return
 	}
 	cls := bits.Len(uint(c)) - 1 - minPoolClass // floor(log2 cap) - min
 	poisonCheckPut(b)
-	p := &bufPools[cls]
+	p := &bufPools[cls][g&poolShardMask]
 	p.lock()
-	if p.n < depth(cls) {
+	if p.n < shardDepth(cls) {
 		poisonRetain(b)
 		p.free[p.n] = b[:0]
 		p.n++

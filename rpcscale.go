@@ -449,6 +449,30 @@ func WithDefaultBulkThreshold(bytes int) Option {
 	return func(c *stackConfig) { c.opts.BulkThreshold = bytes }
 }
 
+// WithConnStripes makes dialed channels open k TCP connections and
+// stripe bulk calls and streams across them with per-call affinity
+// (unary envelope traffic stays on stripe 0). k <= 1 keeps the single
+// connection.
+func WithConnStripes(k int) Option {
+	return func(c *stackConfig) { c.opts.ConnStripes = k }
+}
+
+// WithCodecWorkers sets the per-connection seal/open worker pool size:
+// n > 0 forces a pool of n, n < 0 forces the fully inline data plane,
+// and 0 (the default) sizes the pool from GOMAXPROCS — disabled on a
+// single-proc runtime.
+func WithCodecWorkers(n int) Option {
+	return func(c *stackConfig) { c.opts.CodecWorkers = n }
+}
+
+// WithAdaptiveCompression lets endpoints decide per method whether the
+// configured compression is worth attempting, from an entropy probe on
+// first bytes plus the method's observed compression ratios. No effect
+// without WithCompression.
+func WithAdaptiveCompression(on bool) Option {
+	return func(c *stackConfig) { c.opts.AdaptiveCompression = on }
+}
+
 // --- Per-call options ---
 
 // WithStreamWindow sets one stream's per-direction credit window in
